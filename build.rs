@@ -1,0 +1,31 @@
+//! Build script: compile every IDL file under `examples/idl/` with the
+//! PARDIS IDL compiler and drop the generated Rust stubs into
+//! `OUT_DIR`, where `src/lib.rs` includes them. This is the real CORBA
+//! workflow — interface first, stubs generated at build time — and it
+//! doubles as a compile-time test that `pardis-idl`'s generated code is
+//! valid Rust.
+
+use std::path::Path;
+
+fn main() {
+    println!("cargo:rerun-if-changed=examples/idl");
+    let out_dir = std::env::var("OUT_DIR").expect("OUT_DIR set by cargo");
+    let idl_dir = Path::new("examples/idl");
+    let mut entries: Vec<_> = std::fs::read_dir(idl_dir)
+        .expect("examples/idl exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().map(|e| e == "idl").unwrap_or(false))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no IDL files found in examples/idl");
+    for path in entries {
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let name = path.file_stem().expect("file stem").to_string_lossy();
+        let code = pardis_idl::compile_to_rust(&source, &path.display().to_string())
+            .unwrap_or_else(|diags| panic!("IDL compilation failed:\n{diags}"));
+        let out = Path::new(&out_dir).join(format!("{name}.rs"));
+        std::fs::write(&out, code)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    }
+}

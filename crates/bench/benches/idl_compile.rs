@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the IDL compiler pipeline: lexing, parsing,
+//! semantic analysis, code generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Synthesize an IDL module with `n` interfaces of mixed operations.
+fn synth_idl(n: usize) -> String {
+    let mut s = String::new();
+    s.push_str("typedef dsequence<double> vec;\n");
+    s.push_str("struct Pt { double x; double y; };\n");
+    s.push_str("exception boom { long code; };\n");
+    for i in 0..n {
+        s.push_str(&format!(
+            "interface svc{i} {{\n\
+             \x20   double dot(in vec a, in vec b);\n\
+             \x20   void step(in long t, inout vec v) raises(boom);\n\
+             \x20   oneway void log(in string msg);\n\
+             \x20   Pt centroid(in vec v, out long n);\n\
+             \x20   readonly attribute long calls;\n\
+             }};\n"
+        ));
+    }
+    s
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idl/compile");
+    for n in [1usize, 8, 64] {
+        let src = synth_idl(n);
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &src, |b, src| {
+            b.iter(|| pardis_idl::compile_to_rust(src, "bench.idl").unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let src = synth_idl(16);
+    c.bench_function("idl/lex", |b| {
+        b.iter(|| pardis_idl::lexer::lex(&src, "bench.idl").unwrap());
+    });
+    let toks = pardis_idl::lexer::lex(&src, "bench.idl").unwrap();
+    c.bench_function("idl/parse", |b| {
+        b.iter(|| pardis_idl::parser::parse(toks.clone(), "bench.idl").unwrap());
+    });
+    let spec = pardis_idl::parser::parse(toks, "bench.idl").unwrap();
+    c.bench_function("idl/sema", |b| {
+        b.iter(|| pardis_idl::sema::check(spec.clone(), "bench.idl").unwrap());
+    });
+    let model = pardis_idl::sema::check(spec, "bench.idl").unwrap();
+    c.bench_function("idl/codegen", |b| {
+        b.iter(|| pardis_idl::codegen::rust::generate(&model));
+    });
+}
+
+criterion_group!(benches, bench_full_compile, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion microbenchmarks of the CDR marshaling layer: the "pack"
+//! cost the paper's tables decompose, with and without data translation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pardis_cdr::{CdrReader, CdrWriter, Endian};
+
+fn bench_pack_doubles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marshal/pack_f64");
+    for log2 in [10usize, 14, 17] {
+        let n = 1usize << log2;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut w = CdrWriter::with_capacity(Endian::native(), data.len() * 8);
+                w.put_f64_slice(data);
+                std::hint::black_box(w.into_bytes())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_unpack_doubles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marshal/unpack_f64");
+    for log2 in [10usize, 14, 17] {
+        let n = 1usize << log2;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut w = CdrWriter::new(Endian::native());
+        w.put_f64_slice(&data);
+        let buf = w.into_bytes();
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &buf, |b, buf| {
+            b.iter(|| {
+                let mut r = CdrReader::new(buf, Endian::native());
+                let mut out = Vec::new();
+                r.get_f64_slice(n, &mut out).unwrap();
+                std::hint::black_box(out)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    // The §3.3 "data translation" cost: per-word byte swapping.
+    let mut g = c.benchmark_group("marshal/translate_f64");
+    for log2 in [14usize, 17] {
+        let n = 1usize << log2;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let bytes = pardis_cdr::byteswap::f64_slice_as_bytes(&data).to_vec();
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &bytes, |b, bytes| {
+            b.iter(|| {
+                let mut buf = bytes.clone();
+                pardis_cdr::byteswap::swap_f64_bytes_in_place(&mut buf);
+                std::hint::black_box(buf)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed_header(c: &mut Criterion) {
+    // Request-header-sized mixed encoding (the multi-port per-fragment
+    // overhead).
+    c.bench_function("marshal/request_header", |b| {
+        b.iter(|| {
+            let mut w = CdrWriter::with_capacity(Endian::native(), 128);
+            w.put_u64(12345);
+            w.put_string("example");
+            w.put_string("diffusion");
+            w.put_bool(true);
+            w.put_u32(3);
+            w.put_u32(17);
+            for p in [21u32, 22, 23, 24] {
+                w.put_u32(p);
+            }
+            std::hint::black_box(w.into_bytes())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pack_doubles,
+    bench_unpack_doubles,
+    bench_translation,
+    bench_mixed_header
+);
+criterion_main!(benches);

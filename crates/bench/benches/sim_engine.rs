@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the discrete-event simulator itself: cost of
+//! regenerating each published artifact, and of the frame-level link
+//! arbitration at scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pardis_sim::engine::{Flow, Sim};
+use pardis_sim::experiments::{figure4, table1, table2};
+use pardis_sim::testbed::paper_testbed;
+
+fn bench_artifacts(c: &mut Criterion) {
+    let tb = paper_testbed();
+    c.bench_function("sim/table1", |b| {
+        b.iter(|| std::hint::black_box(table1(&tb)));
+    });
+    c.bench_function("sim/table2", |b| {
+        b.iter(|| std::hint::black_box(table2(&tb)));
+    });
+    let mut g = c.benchmark_group("sim/figure4");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| {
+        b.iter(|| std::hint::black_box(figure4(&tb)));
+    });
+    g.finish();
+}
+
+fn bench_flow_set(c: &mut Criterion) {
+    // 32 concurrent flows of 1 MB each: ~3700 frames through the
+    // arbitration loop.
+    let tb = paper_testbed().with_threads(4, 8);
+    c.bench_function("sim/flow_set_32x1MB", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(vec![tb.client.clone(), tb.server.clone()], tb.link);
+            let flows: Vec<Flow> = (0..4)
+                .flat_map(|s| {
+                    (0..8).map(move |d| Flow {
+                        src: (0, s),
+                        dst: (1, d),
+                        bytes: 1 << 20,
+                    })
+                })
+                .collect();
+            std::hint::black_box(sim.flow_set(&flows))
+        });
+    });
+}
+
+criterion_group!(benches, bench_artifacts, bench_flow_set);
+criterion_main!(benches);

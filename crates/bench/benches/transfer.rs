@@ -1,0 +1,42 @@
+//! Criterion benchmarks of complete ORB invocations on the real runtime
+//! (unthrottled link, so the numbers expose ORB overhead rather than
+//! wire time): centralized vs multi-port, small control-path and bulk
+//! data-path sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pardis::prelude::*;
+use pardis_bench::RuntimeHarness;
+
+fn bench_invoke_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orb/invoke_c2_n4");
+    g.sample_size(20);
+    let harness = RuntimeHarness::new(2, 4, LinkSpec::unlimited(), false);
+    for (label, len) in [("1K", 1usize << 10), ("64K", 1 << 16)] {
+        g.throughput(Throughput::Bytes((len * 8) as u64));
+        for mode in [TransferMode::Centralized, TransferMode::MultiPort] {
+            g.bench_function(BenchmarkId::new(format!("{mode:?}"), label), |b| {
+                b.iter_custom(|iters| harness.invoke_avg(len, mode, iters as usize) * iters as u32);
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_control_path(c: &mut Criterion) {
+    // Minimal invocation: one in-arg of 8 doubles — dominated by
+    // request/reply handling, relay broadcasts and barriers.
+    let mut g = c.benchmark_group("orb/control_path");
+    g.sample_size(30);
+    for (cth, nth) in [(1usize, 1usize), (2, 2), (4, 4)] {
+        let harness = RuntimeHarness::new(cth, nth, LinkSpec::unlimited(), false);
+        g.bench_function(BenchmarkId::from_parameter(format!("c{cth}_n{nth}")), |b| {
+            b.iter_custom(|iters| {
+                harness.invoke_avg(8, TransferMode::Centralized, iters as usize) * iters as u32
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_invoke_modes, bench_control_path);
+criterion_main!(benches);

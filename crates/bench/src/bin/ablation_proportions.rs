@@ -1,0 +1,59 @@
+//! Ablation for §3.3's uneven-split remark: "Experiments show that cases
+//! when the sequence is split unevenly are of comparable efficiency (for
+//! example … the timing of the invocation was 370 milliseconds)."
+//!
+//! Sweeps several proportional server-side distributions against the
+//! uniform blockwise baseline at c = 4, n = 8, 2^19 doubles, on the
+//! simulated testbed.
+//!
+//! ```text
+//! cargo run -p pardis-bench --bin ablation_proportions
+//! ```
+
+use pardis_sim::block::Layout;
+use pardis_sim::experiments::TABLE_DOUBLES;
+use pardis_sim::scripts::{multiport_invoke, multiport_invoke_layouts};
+use pardis_sim::testbed::paper_testbed;
+
+fn main() {
+    let tb = paper_testbed();
+    let bytes = TABLE_DOUBLES * 8;
+    let c = 4usize;
+    let n = 8usize;
+    let base = multiport_invoke(&tb, c, n, bytes);
+    println!("proportions ablation (multi-port, c={c}, n={n}, 2^19 doubles)");
+    println!();
+    println!("  server distribution                 |     T (ms)   vs block");
+    println!("  ------------------------------------+----------------------");
+    println!(
+        "  {:<35} | {:>9.1}      1.00x",
+        "block (uniform)",
+        base.total_ms()
+    );
+    let cases: Vec<(&str, Vec<u32>)> = vec![
+        ("proportions 2:4:2:4:2:4:2:4", vec![2, 4, 2, 4, 2, 4, 2, 4]),
+        ("proportions 1:1:1:1:1:1:1:9", vec![1, 1, 1, 1, 1, 1, 1, 9]),
+        ("proportions 8:4:2:1:1:2:4:8", vec![8, 4, 2, 1, 1, 2, 4, 8]),
+        ("proportions 1:2:3:4:5:6:7:8", vec![1, 2, 3, 4, 5, 6, 7, 8]),
+    ];
+    for (name, weights) in cases {
+        let t = multiport_invoke_layouts(
+            &tb,
+            &Layout::block(bytes, c),
+            &Layout::proportional(bytes, &weights),
+        );
+        println!(
+            "  {:<35} | {:>9.1}      {:.2}x",
+            name,
+            t.total_ms(),
+            t.total_ns as f64 / base.total_ns as f64
+        );
+    }
+    println!();
+    println!("Shape to check: moderately uneven splits stay within a few percent of");
+    println!("the even split — \"of comparable efficiency\" (§3.3) — because the single");
+    println!("shared link, not the per-thread fragment sizes, dominates transfer time.");
+    println!("Heavily skewed splits (one thread owning most of the data) do pay: the");
+    println!("overloaded receiver serializes its incoming fragments, an effect the");
+    println!("paper's mildly uneven test case did not reach.");
+}

@@ -1,0 +1,60 @@
+//! Counterfactual ablation: replay the paper's experiments on a
+//! **modern** simulated testbed (many cores, fast memory, 10 GbE-class
+//! link) and compare with the 1997 configuration.
+//!
+//! This answers "would PARDIS's multi-port method still matter today?":
+//! the effects the paper measures are driven by slow CPUs relative to
+//! the link, MPICH busy-polling on small SMPs, and expensive syscalls —
+//! quantifying how much of the multi-port advantage each era's hardware
+//! produces.
+//!
+//! ```text
+//! cargo run -p pardis-bench --bin ablation_testbed
+//! ```
+
+use pardis_sim::experiments::{figure4_at, peaks, TABLE_DOUBLES};
+use pardis_sim::scripts::{centralized_invoke, multiport_invoke};
+use pardis_sim::testbed::{modern_testbed, paper_testbed, Testbed};
+
+fn report(label: &str, tb: &Testbed) -> f64 {
+    let bytes = TABLE_DOUBLES * 8;
+    println!("{label}:");
+    println!("  2^19-double invocation, c=4, n=8:");
+    let cen = centralized_invoke(tb, 4, 8, bytes);
+    let mp = multiport_invoke(tb, 4, 8, bytes);
+    println!(
+        "    centralized {:>9.3} ms    multi-port {:>9.3} ms    speedup {:.2}x",
+        cen.total_ms(),
+        mp.total_ms(),
+        cen.total_ns as f64 / mp.total_ns as f64
+    );
+    let pts = figure4_at(tb, 4, 8);
+    let ((cp, _), (mpk, _)) = peaks(&pts);
+    println!(
+        "    peak bandwidth: centralized {:>8.1} MB/s, multi-port {:>8.1} MB/s, ratio {:.2}",
+        cp,
+        mpk,
+        mpk / cp
+    );
+    // Scheduler interference: how much a c=2 -> c=4 change inflates the
+    // centralized send.
+    let c2 = centralized_invoke(tb, 2, 1, bytes);
+    let c4 = centralized_invoke(tb, 4, 1, bytes);
+    let interference = (c4.pack_send_ns as f64 / c2.pack_send_ns as f64 - 1.0) * 100.0;
+    println!("    scheduler interference (t_ps, c=2 -> c=4): {interference:+.1}%");
+    println!();
+    mpk / cp
+}
+
+fn main() {
+    println!("testbed ablation: the paper's experiments on 1997 vs modern hardware\n");
+    let r97 = report("1997 testbed (SGI Onyx / Power Challenge / ATM)", &paper_testbed());
+    let rnow = report("modern testbed (many-core / 10 GbE)", &modern_testbed());
+    println!("multi-port peak advantage: {r97:.2}x in 1997, {rnow:.2}x today");
+    println!();
+    println!("Interpretation: the multi-port method's large 1997 advantage came from");
+    println!("marshaling/gather costs comparable to wire time plus oversubscription");
+    println!("descheduling; on modern hardware both shrink, and the advantage with");
+    println!("them. The SPMD-object programming model is unaffected — only the");
+    println!("transfer-method gap narrows.");
+}

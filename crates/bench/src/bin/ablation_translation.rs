@@ -1,0 +1,61 @@
+//! Ablation for §3.3's data-translation remark: "We expect that this
+//! effect will be amplified in cases which require data translation (not
+//! present in our experiments) or more sophisticated marshaling."
+//!
+//! Runs the **real runtime** with data translation (per-word byte
+//! swapping on pack and unpack) toggled, both transfer methods, and
+//! reports how much the multi-port advantage grows when marshaling gets
+//! expensive — because translation work parallelizes over the computing
+//! threads in the multi-port method but serializes at the communicating
+//! threads in the centralized one.
+//!
+//! ```text
+//! cargo run --release -p pardis-bench --bin ablation_translation [log2_len]
+//! ```
+
+use pardis::prelude::*;
+use pardis_bench::RuntimeHarness;
+
+fn main() {
+    let log2_len: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let len = 1usize << log2_len;
+    let iters = 5;
+    // A moderate link so marshaling is a visible fraction of the total.
+    let link = LinkSpec::atm_155().scaled(64.0);
+
+    println!(
+        "translation ablation (runtime): c=4, n=8, 2^{log2_len} doubles, link ≈ {:.0} MB/s",
+        link.bandwidth.unwrap_or(f64::INFINITY) / 1e6
+    );
+    println!();
+    println!("  translation | centralized_ms | multiport_ms | centralized/multiport");
+    println!("  ------------+----------------+--------------+----------------------");
+
+    let mut ratios = Vec::new();
+    for translate in [false, true] {
+        let harness = RuntimeHarness::new(4, 8, link, translate);
+        let cen = harness.invoke_avg(len, TransferMode::Centralized, iters);
+        let mp = harness.invoke_avg(len, TransferMode::MultiPort, iters);
+        let ratio = cen.as_secs_f64() / mp.as_secs_f64();
+        ratios.push(ratio);
+        println!(
+            "  {:<11} | {:>14.2} | {:>12.2} | {:>8.3}",
+            if translate { "on" } else { "off" },
+            cen.as_secs_f64() * 1e3,
+            mp.as_secs_f64() * 1e3,
+            ratio
+        );
+    }
+    println!();
+    println!(
+        "advantage growth: {:.3} -> {:.3} ({:+.1}%)",
+        ratios[0],
+        ratios[1],
+        (ratios[1] / ratios[0] - 1.0) * 100.0
+    );
+    println!("Shape to check: the centralized/multi-port ratio grows when data");
+    println!("translation is required, as §3.3 predicts.");
+}

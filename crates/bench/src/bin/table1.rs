@@ -1,0 +1,21 @@
+//! Regenerate **Table 1** of the paper: time of invocation using the
+//! centralized method of argument transfer on the simulated 1997
+//! testbed.
+//!
+//! ```text
+//! cargo run -p pardis-bench --bin table1
+//! ```
+
+use pardis_bench::tables::format_table1;
+use pardis_sim::experiments::table1;
+use pardis_sim::testbed::paper_testbed;
+
+fn main() {
+    let tb = paper_testbed();
+    let rows = table1(&tb);
+    println!("{}", format_table1(&rows));
+    println!("Paper (HPDC'97) reference values for T, same layout:");
+    println!("   c=2: 417, 442, 451, 461 ms      c=4: 571, 634, 685, 697 ms");
+    println!("Shape to check: T grows with n at fixed c, and grows with c at fixed n;");
+    println!("gather/scatter cost grows with thread count on either side.");
+}

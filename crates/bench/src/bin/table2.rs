@@ -1,0 +1,24 @@
+//! Regenerate **Table 2** of the paper: time of invocation using the
+//! multi-port method of argument transfer on the simulated 1997
+//! testbed.
+//!
+//! ```text
+//! cargo run -p pardis-bench --bin table2
+//! ```
+
+use pardis_bench::tables::format_table2;
+use pardis_sim::experiments::table2;
+use pardis_sim::testbed::paper_testbed;
+
+fn main() {
+    let tb = paper_testbed();
+    let rows = table2(&tb);
+    println!("{}", format_table2(&rows));
+    println!("Paper (HPDC'97) reference values for T, same layout (c=1/2/4 groups):");
+    println!("   c=1: 431, 425, 412, 393 ms     c=2: 367, 376, 368, 336 ms");
+    println!("   c=4: best configuration ≈ 261–356 ms");
+    println!("Shape to check: T decreases as resources grow; pack and unpack");
+    println!("parallelize (divide by c and n); the exit-barrier wait is ~half the");
+    println!("send when two clients feed one server thread (sequentialized sends)");
+    println!("and collapses once destinations are independent (interleaved sends).");
+}

@@ -1,0 +1,159 @@
+//! A persistent real-runtime client/server pair for wall-clock
+//! benchmarks.
+//!
+//! Standing a world up per measurement would swamp the numbers with
+//! thread-spawn time, so the harness keeps one server machine (`n`
+//! threads, the generated `diff_object` servant) and one client machine
+//! (`c` threads) alive and feeds the client invocation commands over
+//! channels. The measured operation matches the paper's experiment: an
+//! invocation carrying **one `in` distributed-sequence argument**
+//! (`total_heat`), averaged over a configurable number of repetitions.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use pardis::apps::diffusion::DiffusionServant;
+use pardis::prelude::*;
+use pardis::stubs::diffusion::{diff_objectProxy, diff_objectSkeleton};
+use pardis_core::MachineHandle;
+use std::time::{Duration, Instant};
+
+/// A command to the resident client machine.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Run `iters` collective `total_heat` invocations on a sequence of
+    /// `len` doubles with the given transfer mode.
+    Invoke {
+        len: usize,
+        mode: TransferMode,
+        iters: usize,
+    },
+    /// Shut the pair down.
+    Stop,
+}
+
+/// A resident client/server pair for timed invocations.
+pub struct RuntimeHarness {
+    cmd_txs: Vec<Sender<Cmd>>,
+    result_rx: Receiver<Duration>,
+    client: Option<MachineHandle<()>>,
+    server: Option<MachineHandle<()>>,
+}
+
+impl RuntimeHarness {
+    /// Stand up a `c`-thread client and an `n`-thread server joined by
+    /// `link`. `translate` forces data translation on both sides (the
+    /// §3.3 heterogeneity ablation).
+    pub fn new(c: usize, n: usize, link: LinkSpec, translate: bool) -> RuntimeHarness {
+        let world = World::new(link);
+        let opts = OrbOptions {
+            translate,
+            ..Default::default()
+        };
+
+        let server = world.spawn_machine_with("server", n, opts.clone(), |ctx| {
+            diff_objectSkeleton::register(&ctx, "bench", DiffusionServant::new(), vec![])
+                .expect("register");
+            ctx.serve_forever().expect("serve");
+        });
+
+        let mut cmd_txs = Vec::with_capacity(c);
+        let mut cmd_rxs = Vec::with_capacity(c);
+        for _ in 0..c {
+            let (tx, rx) = bounded::<Cmd>(4);
+            cmd_txs.push(tx);
+            cmd_rxs.push(rx);
+        }
+        let (result_tx, result_rx) = bounded::<Duration>(4);
+        let cmd_rxs = std::sync::Mutex::new(cmd_rxs.into_iter().map(Some).collect::<Vec<_>>());
+
+        let client = world.spawn_machine_with("client", c, opts, move |ctx| {
+            let my_rx = cmd_rxs.lock().expect("lock")[ctx.rank()]
+                .take()
+                .expect("each rank takes its receiver once");
+            let mut proxy =
+                diff_objectProxy::_spmd_bind(&ctx, "bench", None).expect("bind");
+            loop {
+                match my_rx.recv().expect("command channel open") {
+                    Cmd::Stop => {
+                        if ctx.is_comm_thread() {
+                            ctx.send_shutdown(proxy.proxy.objref()).expect("shutdown");
+                        }
+                        return;
+                    }
+                    Cmd::Invoke { len, mode, iters } => {
+                        proxy._set_transfer_mode(mode).expect("mode");
+                        let mut seq =
+                            DSequence::<f64>::new(ctx.rts(), len, None).expect("dseq");
+                        for x in seq.local_data_mut() {
+                            *x = 1.0;
+                        }
+                        // Warm the path once, then time.
+                        proxy.total_heat(&ctx, &seq).expect("warmup");
+                        ctx.rts().barrier();
+                        let t0 = Instant::now();
+                        for _ in 0..iters {
+                            let h = proxy.total_heat(&ctx, &seq).expect("invoke");
+                            debug_assert_eq!(h, len as f64);
+                        }
+                        ctx.rts().barrier();
+                        if ctx.is_comm_thread() {
+                            result_tx
+                                .send(t0.elapsed() / iters as u32)
+                                .expect("result channel open");
+                        }
+                    }
+                }
+            }
+        });
+
+        RuntimeHarness {
+            cmd_txs,
+            result_rx,
+            client: Some(client),
+            server: Some(server),
+        }
+    }
+
+    /// Average wall-clock of one collective invocation carrying `len`
+    /// doubles in, over `iters` repetitions.
+    pub fn invoke_avg(&self, len: usize, mode: TransferMode, iters: usize) -> Duration {
+        for tx in &self.cmd_txs {
+            tx.send(Cmd::Invoke { len, mode, iters }).expect("send cmd");
+        }
+        self.result_rx.recv().expect("client alive")
+    }
+}
+
+impl Drop for RuntimeHarness {
+    fn drop(&mut self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Cmd::Stop);
+        }
+        if let Some(c) = self.client.take() {
+            c.join();
+        }
+        if let Some(s) = self.server.take() {
+            s.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_both_modes() {
+        let h = RuntimeHarness::new(2, 3, LinkSpec::unlimited(), false);
+        let d1 = h.invoke_avg(1 << 10, TransferMode::Centralized, 3);
+        let d2 = h.invoke_avg(1 << 10, TransferMode::MultiPort, 3);
+        assert!(d1 > Duration::ZERO);
+        assert!(d2 > Duration::ZERO);
+    }
+
+    #[test]
+    fn harness_with_translation() {
+        let h = RuntimeHarness::new(1, 2, LinkSpec::unlimited(), true);
+        let d = h.invoke_avg(512, TransferMode::MultiPort, 2);
+        assert!(d > Duration::ZERO);
+    }
+}

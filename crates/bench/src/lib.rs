@@ -1,0 +1,10 @@
+//! Shared machinery for the PARDIS benchmark harness: table formatting
+//! and a reusable real-runtime client/server pair for wall-clock
+//! measurements.
+
+pub mod harness;
+pub mod rig;
+pub mod tables;
+
+pub use harness::RuntimeHarness;
+pub use rig::SpmdRig;

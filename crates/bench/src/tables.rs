@@ -1,0 +1,115 @@
+//! Table formatting for the experiment binaries. Output mirrors the
+//! rows/columns of the paper's tables so measured and published numbers
+//! can be compared side by side.
+
+use pardis_sim::experiments::Fig4Point;
+use pardis_sim::scripts::{CentralizedTiming, MultiportTiming};
+
+/// Table 1 of the paper, from simulated timings.
+pub fn format_table1(rows: &[CentralizedTiming]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "Table 1 — Time of invocation using the CENTRALIZED method of argument transfer\n",
+    );
+    s.push_str("(2^19 doubles; times in milliseconds; n = server threads, c = client threads)\n\n");
+    s.push_str("   c   n |        T      t_ps       t_r   t_gather  t_scatter\n");
+    s.push_str("  -------+---------------------------------------------------\n");
+    for r in rows {
+        s.push_str(&format!(
+            "  {:>2}  {:>2} | {:>8.1}  {:>8.1}  {:>8.1}  {:>9.1}  {:>9.1}\n",
+            r.c,
+            r.n,
+            r.total_ms(),
+            r.pack_send_ms(),
+            r.recv_unpack_ms(),
+            r.gather_ms(),
+            r.scatter_ms()
+        ));
+    }
+    s
+}
+
+/// Table 2 of the paper, from simulated timings.
+pub fn format_table2(rows: &[MultiportTiming]) -> String {
+    let mut s = String::new();
+    s.push_str("Table 2 — Time of invocation using the MULTI-PORT method of argument transfer\n");
+    s.push_str("(2^19 doubles; times in milliseconds; per-thread maxima for pack/unpack;\n");
+    s.push_str(" t_barrier is the communicating thread's exit-barrier wait)\n\n");
+    s.push_str("   c   n |        T    t_pack  t_unpack  t_barrier\n");
+    s.push_str("  -------+------------------------------------------\n");
+    for r in rows {
+        s.push_str(&format!(
+            "  {:>2}  {:>2} | {:>8.1}  {:>8.1}  {:>8.1}  {:>9.1}\n",
+            r.c,
+            r.n,
+            r.total_ms(),
+            r.pack_ms(),
+            r.unpack_recv_ms(),
+            r.barrier_ms()
+        ));
+    }
+    s
+}
+
+/// Figure 4 of the paper as a CSV-ish series plus an ASCII sketch.
+pub fn format_fig4(points: &[Fig4Point]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 4 — centralized vs multi-port effective bandwidth (c=4, n=8)\n\n");
+    s.push_str("  length_doubles, centralized_MBps, multiport_MBps\n");
+    for p in points {
+        s.push_str(&format!(
+            "  {:>14}, {:>15.2}, {:>13.2}\n",
+            p.doubles, p.centralized_mbps, p.multiport_mbps
+        ));
+    }
+    let max = points
+        .iter()
+        .map(|p| p.multiport_mbps.max(p.centralized_mbps))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    s.push_str("\n  (M = multi-port, C = centralized; column height ∝ MB/s)\n");
+    let height = 12usize;
+    for row in (0..height).rev() {
+        let threshold = max * (row as f64 + 0.5) / height as f64;
+        s.push_str("  |");
+        for p in points {
+            let m = p.multiport_mbps >= threshold;
+            let c = p.centralized_mbps >= threshold;
+            s.push(match (m, c) {
+                (true, true) => '#',
+                (true, false) => 'M',
+                (false, true) => 'C',
+                (false, false) => ' ',
+            });
+        }
+        s.push('\n');
+    }
+    s.push_str("  +");
+    s.push_str(&"-".repeat(points.len()));
+    s.push_str("\n   10^1  ->  length in doubles (log)  ->  10^7\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardis_sim::experiments::{figure4, table1, table2};
+    use pardis_sim::testbed::paper_testbed;
+
+    #[test]
+    fn tables_render_all_rows() {
+        let tb = paper_testbed();
+        let t1 = format_table1(&table1(&tb));
+        assert_eq!(t1.lines().filter(|l| l.contains('|')).count(), 8 + 1);
+        let t2 = format_table2(&table2(&tb));
+        assert_eq!(t2.lines().filter(|l| l.contains('|')).count(), 12 + 1);
+    }
+
+    #[test]
+    fn fig4_renders_chart() {
+        let tb = paper_testbed();
+        let s = format_fig4(&figure4(&tb));
+        assert!(s.contains("multiport_MBps"));
+        assert!(s.contains('M'));
+    }
+}

@@ -1,0 +1,136 @@
+//! Data translation helpers.
+//!
+//! The PARDIS paper (§3.3) points out that the advantage of multi-port
+//! transfer grows "in cases which require data translation (not present
+//! in our experiments) or more sophisticated marshaling", because
+//! translation work is divided among all computing threads. This module
+//! supplies the translation primitives: bulk reinterpretation of
+//! primitive slices as bytes (the zero-translation path) and in-place
+//! byte swapping (the translation path), which the benchmark harness
+//! ablates.
+//!
+//! All reinterpretations here go through safe byte-by-byte conversions;
+//! we deliberately avoid `unsafe` transmutes — the copies model real
+//! marshaling work anyway.
+
+/// View a `f64` slice as its native-order byte representation.
+///
+/// Allocation-free on the read side: the returned slice borrows `v`.
+#[inline]
+pub fn f64_slice_as_bytes(v: &[f64]) -> &[u8] {
+    // f64 has no padding and alignment of f64 >= u8, so this view is
+    // always valid. bytemuck would provide this; we keep the single
+    // well-understood unsafe block local and documented instead of
+    // adding a dependency.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+/// View an `i32` slice as its native-order byte representation.
+#[inline]
+pub fn i32_slice_as_bytes(v: &[i32]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+/// Append `bytes` (native order, length a multiple of 8) to `out` as
+/// `f64` values.
+#[inline]
+pub fn bytes_to_f64(bytes: &[u8], out: &mut Vec<f64>) {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    out.extend(bytes.chunks_exact(8).map(|c| {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(c);
+        f64::from_ne_bytes(a)
+    }));
+}
+
+/// Append `bytes` (native order, length a multiple of 4) to `out` as
+/// `i32` values.
+#[inline]
+pub fn bytes_to_i32(bytes: &[u8], out: &mut Vec<i32>) {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    out.extend(bytes.chunks_exact(4).map(|c| {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(c);
+        i32::from_ne_bytes(a)
+    }));
+}
+
+/// Swap the byte order of every 8-byte word in `buf` in place.
+///
+/// This is the "data translation" workload: a receiver whose byte order
+/// differs from the sender's must touch every byte of the payload.
+pub fn swap_f64_bytes_in_place(buf: &mut [u8]) {
+    debug_assert_eq!(buf.len() % 8, 0);
+    for chunk in buf.chunks_exact_mut(8) {
+        chunk.reverse();
+    }
+}
+
+/// Swap the byte order of every 4-byte word in `buf` in place.
+pub fn swap_i32_bytes_in_place(buf: &mut [u8]) {
+    debug_assert_eq!(buf.len() % 4, 0);
+    for chunk in buf.chunks_exact_mut(4) {
+        chunk.reverse();
+    }
+}
+
+/// Swap every element of an `f64` slice in place (translation applied on
+/// decoded values rather than on the wire buffer).
+pub fn swap_f64_in_place(v: &mut [f64]) {
+    for x in v {
+        *x = f64::from_bits(x.to_bits().swap_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_bytes_roundtrip() {
+        let data = [1.0f64, -2.5, 1e-300, f64::INFINITY];
+        let bytes = f64_slice_as_bytes(&data);
+        assert_eq!(bytes.len(), 32);
+        let mut back = Vec::new();
+        bytes_to_f64(bytes, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn i32_bytes_roundtrip() {
+        let data = [0i32, -1, i32::MAX, 42];
+        let bytes = i32_slice_as_bytes(&data);
+        let mut back = Vec::new();
+        bytes_to_i32(bytes, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn double_swap_is_identity() {
+        let data = [3.25f64, -0.5, 9.75];
+        let mut buf = f64_slice_as_bytes(&data).to_vec();
+        swap_f64_bytes_in_place(&mut buf);
+        swap_f64_bytes_in_place(&mut buf);
+        let mut back = Vec::new();
+        bytes_to_f64(&buf, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn swap_matches_value_swap() {
+        let mut vals = [1.5f64, 2.5];
+        let mut buf = f64_slice_as_bytes(&vals).to_vec();
+        swap_f64_bytes_in_place(&mut buf);
+        swap_f64_in_place(&mut vals);
+        let mut back = Vec::new();
+        bytes_to_f64(&buf, &mut back);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn i32_swap_swaps() {
+        let mut buf = vec![1u8, 2, 3, 4];
+        swap_i32_bytes_in_place(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for CDR encoding and decoding.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type CdrResult<T> = Result<T, CdrError>;
+
+/// Errors raised while encoding or decoding a CDR stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdrError {
+    /// The reader ran off the end of the buffer.
+    ///
+    /// Records how many bytes were `needed` versus how many `remained`.
+    UnexpectedEof { needed: usize, remained: usize },
+    /// A boolean octet held something other than 0 or 1.
+    BadBool(u8),
+    /// An endianness flag byte held something other than 0 or 1.
+    BadEndianFlag(u8),
+    /// A decoded string was not valid UTF-8.
+    BadUtf8,
+    /// A decoded enum discriminant did not name a variant.
+    BadDiscriminant { type_name: &'static str, value: u32 },
+    /// A sequence length exceeded the bound declared in IDL.
+    BoundExceeded { bound: usize, len: usize },
+    /// A length field implied more data than the message can hold.
+    LengthOverflow(u64),
+    /// A type code in the stream did not match the expected type.
+    TypeMismatch { expected: &'static str, found: String },
+}
+
+impl fmt::Display for CdrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdrError::UnexpectedEof { needed, remained } => write!(
+                f,
+                "unexpected end of CDR stream: needed {needed} bytes, {remained} remained"
+            ),
+            CdrError::BadBool(b) => write!(f, "invalid boolean octet {b:#04x}"),
+            CdrError::BadEndianFlag(b) => write!(f, "invalid endianness flag {b:#04x}"),
+            CdrError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            CdrError::BadDiscriminant { type_name, value } => {
+                write!(f, "invalid discriminant {value} for enum {type_name}")
+            }
+            CdrError::BoundExceeded { bound, len } => {
+                write!(f, "sequence length {len} exceeds declared bound {bound}")
+            }
+            CdrError::LengthOverflow(n) => write!(f, "length field {n} overflows the message"),
+            CdrError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CdrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CdrError::UnexpectedEof {
+            needed: 8,
+            remained: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("needed 8"));
+        assert!(s.contains("3 remained"));
+
+        assert!(CdrError::BadBool(9).to_string().contains("0x09"));
+        assert!(CdrError::BoundExceeded { bound: 4, len: 9 }
+            .to_string()
+            .contains("bound 4"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Client-side binding and invocation.
+//!
+//! PARDIS offers two ways for a client to bind to an object (§2.1):
+//!
+//! * [`OrbCtx::spmd_bind`] — "a collective form of bind; it has to be
+//!   called by all the computing threads of a client and should be used
+//!   by clients wishing to act as one entity in interactions with
+//!   objects. After `spmd_bind`, every invocation to the object must be
+//!   called by all the threads that participated in the bind call, and
+//!   will result \[in\] making one request on the object."
+//! * [`OrbCtx::bind`] — "non-collective and always establishes one
+//!   binding per thread … After this form of bind, proxy methods using
+//!   non-distributed mapping of distributed arguments should be used;
+//!   the invocations are non-collective."
+//!
+//! Either form yields a [`Proxy`] through which [`RequestSpec`]s are
+//! invoked, blocking ([`Proxy::invoke`]) or returning a future
+//! ([`Proxy::invoke_nb`]). The argument-transfer method is selected per
+//! proxy ([`Proxy::set_mode`]) or per call.
+
+use crate::dist::DistTempl;
+use crate::dseq::{DSequence, Elem};
+use crate::error::{PardisError, PardisResult};
+use crate::future::PardisFuture;
+use crate::orb::OrbCtx;
+use crate::request::{ArgDir, DistArgSend, InvokeTiming, ReplyResult, RequestSpec};
+use crate::transfer::{centralized, multiport};
+use bytes::Bytes;
+use pardis_net::conn::Connection;
+use pardis_net::giop::{GiopMessage, ReplyHeader, TransferMode};
+use pardis_net::ObjectRef;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// A client-side handle on a (possibly remote, possibly SPMD) object.
+pub struct Proxy {
+    pub(crate) objref: ObjectRef,
+    /// True when created by `spmd_bind`: invocations are collective.
+    pub(crate) collective: bool,
+    /// The request/reply connection. Present on the communicating thread
+    /// of a collective binding, and always for a per-thread binding.
+    pub(crate) conn: Option<Connection>,
+    /// Transfer method used by `invoke`.
+    pub(crate) mode: TransferMode,
+    /// Replies that arrived out of order (outstanding futures).
+    pub(crate) reply_buf: RefCell<Vec<(ReplyHeader, Bytes)>>,
+}
+
+/// The client half of an invocation between its send and receive phases
+/// (what a future holds on to).
+#[derive(Debug, Clone)]
+pub struct PendingInvoke {
+    pub(crate) req_id: u64,
+    pub(crate) mode: TransferMode,
+    pub(crate) dist: Vec<PendingDist>,
+    pub(crate) response_expected: bool,
+    pub(crate) timing: InvokeTiming,
+    pub(crate) started: Instant,
+}
+
+/// Routing info for one distributed argument of a pending invocation.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingDist {
+    pub dir: ArgDir,
+    pub elem_size: usize,
+    pub client_templ: DistTempl,
+    pub server_templ: DistTempl,
+}
+
+impl OrbCtx {
+    /// Collective bind: every computing thread calls this; the machine
+    /// then acts as one entity toward the object. `expected_type` (if
+    /// given) is checked against the object's interface id.
+    pub fn spmd_bind(
+        &self,
+        name: &str,
+        host: Option<&str>,
+        expected_type: Option<&str>,
+    ) -> PardisResult<Proxy> {
+        let objref = if self.is_comm_thread() {
+            let objref = self.resolve(name, host)?;
+            let bytes = pardis_cdr::traits::to_bytes(&objref).map_err(PardisError::from)?;
+            self.rts.broadcast(0, Some(Bytes::from(bytes)))?;
+            objref
+        } else {
+            let bytes = self.rts.broadcast(0, None)?;
+            pardis_cdr::traits::from_bytes::<ObjectRef>(&bytes).map_err(PardisError::from)?
+        };
+        check_type(&objref, expected_type)?;
+        let conn = if self.is_comm_thread() {
+            Some(Connection::open(&self.host, objref.host, objref.request_port))
+        } else {
+            None
+        };
+        Ok(Proxy {
+            objref,
+            collective: true,
+            conn,
+            mode: TransferMode::Centralized,
+            reply_buf: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Per-thread bind: establishes one binding for the calling thread
+    /// only; invocations through it are non-collective and use the
+    /// non-distributed argument mapping (or a single-thread distributed
+    /// mapping).
+    pub fn bind(
+        &self,
+        name: &str,
+        host: Option<&str>,
+        expected_type: Option<&str>,
+    ) -> PardisResult<Proxy> {
+        let objref = self.resolve(name, host)?;
+        check_type(&objref, expected_type)?;
+        let conn = Connection::open(&self.host, objref.host, objref.request_port);
+        Ok(Proxy {
+            objref,
+            collective: false,
+            conn: Some(conn),
+            mode: TransferMode::Centralized,
+            reply_buf: RefCell::new(Vec::new()),
+        })
+    }
+
+    fn resolve(&self, name: &str, host: Option<&str>) -> PardisResult<ObjectRef> {
+        let host_id = match host {
+            None => None,
+            Some(h) => Some(self.host.fabric().host_by_name(h).ok_or_else(|| {
+                PardisError::ObjectNotFound {
+                    name: name.to_string(),
+                    host: Some(h.to_string()),
+                }
+            })?),
+        };
+        self.naming.resolve(name, host_id, self.resolve_timeout)
+    }
+}
+
+fn check_type(objref: &ObjectRef, expected: Option<&str>) -> PardisResult<()> {
+    if let Some(e) = expected {
+        if objref.type_id != e {
+            return Err(PardisError::InterfaceMismatch {
+                expected: e.to_string(),
+                found: objref.type_id.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+impl Proxy {
+    /// The bound object's reference.
+    pub fn objref(&self) -> &ObjectRef {
+        &self.objref
+    }
+
+    /// Whether this binding is collective (`spmd_bind`).
+    pub fn is_collective(&self) -> bool {
+        self.collective
+    }
+
+    /// The transfer method `invoke` will use.
+    pub fn mode(&self) -> TransferMode {
+        self.mode
+    }
+
+    /// Select the transfer method for subsequent invocations. Multi-port
+    /// requires the object to advertise per-thread data ports.
+    pub fn set_mode(&mut self, mode: TransferMode) -> PardisResult<()> {
+        if mode == TransferMode::MultiPort && !self.objref.supports_multiport() {
+            return Err(PardisError::MultiportUnavailable);
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// Describe a distributed argument from a typed sequence, resolving
+    /// the server-side layout from the object reference's registered
+    /// distribution templates (`dist_index` counts distributed arguments
+    /// of the operation, in order).
+    pub fn dist_arg<T: Elem>(
+        &self,
+        op: &str,
+        dist_index: u32,
+        dir: ArgDir,
+        seq: &DSequence<T>,
+    ) -> PardisResult<DistArgSend> {
+        let spec = self.objref.dist_for(op, dist_index);
+        let server_templ =
+            DistTempl::from_spec(&spec, seq.len(), self.objref.nthreads as usize)?;
+        Ok(DistArgSend {
+            dir,
+            elem_size: T::wire_size(),
+            local: T::to_native_bytes(seq.local_data()),
+            client_templ: seq.templ().clone(),
+            server_templ,
+        })
+    }
+
+    /// Describe a distributed argument from a plain (non-distributed)
+    /// slice — the `_nd` mapping used with per-thread bindings: the whole
+    /// sequence lives on the calling thread, the server still sees its
+    /// registered distribution.
+    pub fn dist_arg_nd<T: Elem>(
+        &self,
+        op: &str,
+        dist_index: u32,
+        dir: ArgDir,
+        data: &[T],
+    ) -> PardisResult<DistArgSend> {
+        let spec = self.objref.dist_for(op, dist_index);
+        let server_templ =
+            DistTempl::from_spec(&spec, data.len(), self.objref.nthreads as usize)?;
+        Ok(DistArgSend {
+            dir,
+            elem_size: T::wire_size(),
+            local: T::to_native_bytes(data),
+            client_templ: DistTempl::from_counts(vec![data.len()]),
+            server_templ,
+        })
+    }
+
+    /// Invoke an operation, blocking until the reply (if any) has been
+    /// delivered to every computing thread. Collective when the binding
+    /// is collective.
+    pub fn invoke(&self, ctx: &OrbCtx, spec: RequestSpec) -> PardisResult<ReplyResult> {
+        let pending = self.begin(ctx, &spec)?;
+        self.complete(ctx, pending)
+    }
+
+    /// Invoke with an explicit transfer method, overriding
+    /// [`Proxy::mode`] for this call.
+    pub fn invoke_with_mode(
+        &self,
+        ctx: &OrbCtx,
+        spec: RequestSpec,
+        mode: TransferMode,
+    ) -> PardisResult<ReplyResult> {
+        let pending = self.begin_with_mode(ctx, &spec, mode)?;
+        self.complete(ctx, pending)
+    }
+
+    /// Non-blocking invocation: the send phase runs now, the returned
+    /// future's `wait` runs the receive phase. For collective bindings
+    /// every thread must eventually wait (futures are collective, like
+    /// the invocations that create them).
+    pub fn invoke_nb<'a>(
+        &'a self,
+        ctx: &'a OrbCtx,
+        spec: RequestSpec,
+    ) -> PardisResult<PardisFuture<'a, ReplyResult>> {
+        let pending = self.begin(ctx, &spec)?;
+        let probe_ready = self.conn.is_some();
+        let fut = PardisFuture::pending(move || self.complete(ctx, pending));
+        Ok(if probe_ready {
+            // On the thread holding the connection, readiness can be
+            // probed by peeking the reply port.
+            fut.with_probe(move || self.reply_arrived())
+        } else {
+            fut
+        })
+    }
+
+    /// Begin an invocation: synchronize, agree on a request id, run the
+    /// send phase of the selected transfer method.
+    fn begin(&self, ctx: &OrbCtx, spec: &RequestSpec) -> PardisResult<PendingInvoke> {
+        self.begin_with_mode(ctx, spec, self.mode)
+    }
+
+    fn begin_with_mode(
+        &self,
+        ctx: &OrbCtx,
+        spec: &RequestSpec,
+        mode: TransferMode,
+    ) -> PardisResult<PendingInvoke> {
+        // "the computing threads of the client first synchronize" (§3.2)
+        if self.collective {
+            ctx.rts.barrier();
+        }
+        let started = Instant::now();
+        let req_id = if self.collective {
+            if ctx.is_comm_thread() {
+                let id = ctx.next_request_id();
+                ctx.rts
+                    .broadcast(0, Some(Bytes::copy_from_slice(&id.to_le_bytes())))?;
+                id
+            } else {
+                let b = ctx.rts.broadcast(0, None)?;
+                let mut a = [0u8; 8];
+                a.copy_from_slice(&b[..8]);
+                u64::from_le_bytes(a)
+            }
+        } else {
+            ctx.next_request_id()
+        };
+
+        let mut pending = PendingInvoke {
+            req_id,
+            mode,
+            dist: spec
+                .dist_args
+                .iter()
+                .map(|a| PendingDist {
+                    dir: a.dir,
+                    elem_size: a.elem_size,
+                    client_templ: a.client_templ.clone(),
+                    server_templ: a.server_templ.clone(),
+                })
+                .collect(),
+            response_expected: spec.response_expected,
+            timing: InvokeTiming::default(),
+            started,
+        };
+
+        // Sanity: collective bindings require client templates shaped
+        // like this machine; per-thread bindings require single-thread
+        // templates.
+        let want_threads = if self.collective { ctx.nthreads() } else { 1 };
+        for (i, d) in pending.dist.iter().enumerate() {
+            if d.client_templ.nthreads() != want_threads {
+                return Err(PardisError::BadDistArg(format!(
+                    "argument {i} client template names {} threads, binding has {want_threads}",
+                    d.client_templ.nthreads()
+                )));
+            }
+        }
+
+        match mode {
+            TransferMode::Centralized => centralized::client_send(ctx, self, spec, &mut pending)?,
+            TransferMode::MultiPort => multiport::client_send(ctx, self, spec, &mut pending)?,
+        }
+        Ok(pending)
+    }
+
+    /// Complete an invocation: run the receive phase, synchronize, stamp
+    /// the total time.
+    fn complete(&self, ctx: &OrbCtx, pending: PendingInvoke) -> PardisResult<ReplyResult> {
+        let mut result = if pending.response_expected {
+            match pending.mode {
+                TransferMode::Centralized => centralized::client_recv(ctx, self, &pending)?,
+                TransferMode::MultiPort => multiport::client_recv(ctx, self, &pending)?,
+            }
+        } else {
+            ReplyResult {
+                nondist_body: Bytes::new(),
+                dist_out: Vec::new(),
+                timing: pending.timing,
+            }
+        };
+        if self.collective {
+            // Exit barrier (§3.3 reads the send interleaving off the
+            // time threads spend here).
+            let tb = Instant::now();
+            ctx.rts.barrier();
+            result.timing.barrier += tb.elapsed();
+        }
+        result.timing.total = pending.started.elapsed();
+        Ok(result)
+    }
+
+    /// Receive the Reply for `req_id` on `conn`, buffering replies to
+    /// other outstanding requests on the same connection.
+    pub(crate) fn recv_reply(
+        &self,
+        conn: &Connection,
+        req_id: u64,
+    ) -> PardisResult<(ReplyHeader, Bytes)> {
+        {
+            let mut buf = self.reply_buf.borrow_mut();
+            if let Some(i) = buf.iter().position(|(h, _)| h.request_id == req_id) {
+                return Ok(buf.remove(i));
+            }
+        }
+        loop {
+            match conn.recv()? {
+                GiopMessage::Reply(h, body) => {
+                    if h.request_id == req_id {
+                        return Ok((h, body));
+                    }
+                    self.reply_buf.borrow_mut().push((h, body));
+                }
+                other => {
+                    return Err(PardisError::Net(format!(
+                        "unexpected message on reply port: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Whether a reply is waiting on the connection (readiness probe for
+    /// futures; only meaningful on the thread holding the connection).
+    fn reply_arrived(&self) -> bool {
+        if !self.reply_buf.borrow().is_empty() {
+            return true;
+        }
+        if let Some(conn) = self.conn.as_ref() {
+            if let Ok(Some(GiopMessage::Reply(h, b))) = conn.try_recv() {
+                self.reply_buf.borrow_mut().push((h, b));
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for Proxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proxy")
+            .field("object", &self.objref.name)
+            .field("type", &self.objref.type_id)
+            .field("collective", &self.collective)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}

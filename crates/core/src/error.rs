@@ -1,0 +1,105 @@
+//! Error type for the PARDIS ORB.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type PardisResult<T> = Result<T, PardisError>;
+
+/// Errors surfaced by ORB operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PardisError {
+    /// Underlying network failure.
+    Net(String),
+    /// Marshaling failure.
+    Cdr(String),
+    /// Run-time system failure.
+    Rts(String),
+    /// No object with this name (and host, if given) is registered.
+    ObjectNotFound { name: String, host: Option<String> },
+    /// The bound object's interface does not match the proxy's.
+    InterfaceMismatch { expected: String, found: String },
+    /// The servant raised an IDL-declared exception.
+    UserException(String),
+    /// The remote ORB or servant failed.
+    SystemException(String),
+    /// The target object does not implement the requested operation.
+    BadOperation(String),
+    /// A distributed argument's metadata was inconsistent (lengths,
+    /// thread counts, template totals).
+    BadDistArg(String),
+    /// An operation that requires multi-port support was attempted on an
+    /// object that does not advertise per-thread data ports.
+    MultiportUnavailable,
+    /// A blocking call timed out.
+    Timeout,
+}
+
+impl fmt::Display for PardisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PardisError::Net(m) => write!(f, "network error: {m}"),
+            PardisError::Cdr(m) => write!(f, "marshaling error: {m}"),
+            PardisError::Rts(m) => write!(f, "run-time system error: {m}"),
+            PardisError::ObjectNotFound { name, host } => match host {
+                Some(h) => write!(f, "object '{name}' not found on host '{h}'"),
+                None => write!(f, "object '{name}' not found"),
+            },
+            PardisError::InterfaceMismatch { expected, found } => {
+                write!(f, "interface mismatch: proxy expects {expected}, object is {found}")
+            }
+            PardisError::UserException(name) => write!(f, "user exception: {name}"),
+            PardisError::SystemException(m) => write!(f, "system exception: {m}"),
+            PardisError::BadOperation(op) => write!(f, "no such operation: {op}"),
+            PardisError::BadDistArg(m) => write!(f, "bad distributed argument: {m}"),
+            PardisError::MultiportUnavailable => {
+                write!(f, "object does not advertise per-thread data ports")
+            }
+            PardisError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for PardisError {}
+
+impl From<pardis_net::NetError> for PardisError {
+    fn from(e: pardis_net::NetError) -> Self {
+        PardisError::Net(e.to_string())
+    }
+}
+
+impl From<pardis_cdr::CdrError> for PardisError {
+    fn from(e: pardis_cdr::CdrError) -> Self {
+        PardisError::Cdr(e.to_string())
+    }
+}
+
+impl From<pardis_rts::RtsError> for PardisError {
+    fn from(e: pardis_rts::RtsError) -> Self {
+        PardisError::Rts(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: PardisError = pardis_cdr::CdrError::BadUtf8.into();
+        assert!(e.to_string().contains("UTF-8"));
+        let e: PardisError = pardis_rts::RtsError::BadRank { rank: 3, size: 2 }.into();
+        assert!(e.to_string().contains("rank 3"));
+        let e: PardisError =
+            pardis_net::NetError::UnknownHost(pardis_net::HostId(9)).into();
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn not_found_formats_host() {
+        let e = PardisError::ObjectNotFound {
+            name: "example".into(),
+            host: Some("onyx".into()),
+        };
+        assert!(e.to_string().contains("onyx"));
+    }
+}

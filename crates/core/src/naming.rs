@@ -1,0 +1,218 @@
+//! The PARDIS naming domain.
+//!
+//! "PARDIS provides a naming domain for objects. At the time of binding
+//! the client has to identify which particular object of a given type it
+//! wants to work with; specifying a host is optional." (§2.1)
+//!
+//! [`NameService`] is the registry behind `_bind`/`_spmd_bind`: servers
+//! register object references under names; clients resolve by name with
+//! an optional host filter, blocking (with a timeout) until the object is
+//! activated — this stands in for the paper's "locating and activating
+//! agents".
+
+use crate::error::{PardisError, PardisResult};
+use parking_lot::{Condvar, Mutex};
+use pardis_net::ObjectRef;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Registry {
+    /// All registered references for each name. Multiple objects of the
+    /// same type may share a name on different hosts, hence the Vec.
+    by_name: HashMap<String, Vec<ObjectRef>>,
+}
+
+/// A shared, thread-safe naming service. Cheap to clone.
+#[derive(Clone)]
+pub struct NameService {
+    inner: Arc<(Mutex<Registry>, Condvar)>,
+}
+
+impl NameService {
+    /// Create an empty naming domain.
+    pub fn new() -> NameService {
+        NameService {
+            inner: Arc::new((Mutex::new(Registry::default()), Condvar::new())),
+        }
+    }
+
+    /// Register (or re-register) an object reference. Re-registering the
+    /// same `(name, host)` replaces the old reference.
+    pub fn register(&self, objref: ObjectRef) {
+        let (lock, cvar) = &*self.inner;
+        let mut reg = lock.lock();
+        let entry = reg.by_name.entry(objref.name.clone()).or_default();
+        entry.retain(|o| o.host != objref.host);
+        entry.push(objref);
+        cvar.notify_all();
+    }
+
+    /// Remove a registration.
+    pub fn unregister(&self, name: &str, host: pardis_net::HostId) {
+        let (lock, _) = &*self.inner;
+        let mut reg = lock.lock();
+        if let Some(v) = reg.by_name.get_mut(name) {
+            v.retain(|o| o.host != host);
+            if v.is_empty() {
+                reg.by_name.remove(name);
+            }
+        }
+    }
+
+    /// Resolve `name`, optionally constrained to a host id, without
+    /// blocking.
+    pub fn try_resolve(&self, name: &str, host: Option<pardis_net::HostId>) -> Option<ObjectRef> {
+        let (lock, _) = &*self.inner;
+        let reg = lock.lock();
+        reg.by_name.get(name).and_then(|v| {
+            match host {
+                Some(h) => v.iter().find(|o| o.host == h),
+                None => v.first(),
+            }
+            .cloned()
+        })
+    }
+
+    /// Resolve, blocking until the object is registered or `timeout`
+    /// elapses — servers and clients start concurrently, as on the
+    /// paper's testbed where the client binds to an already-running or
+    /// still-activating object.
+    pub fn resolve(
+        &self,
+        name: &str,
+        host: Option<pardis_net::HostId>,
+        timeout: Duration,
+    ) -> PardisResult<ObjectRef> {
+        let deadline = Instant::now() + timeout;
+        let (lock, cvar) = &*self.inner;
+        let mut reg = lock.lock();
+        loop {
+            if let Some(objref) = reg.by_name.get(name).and_then(|v| {
+                match host {
+                    Some(h) => v.iter().find(|o| o.host == h),
+                    None => v.first(),
+                }
+                .cloned()
+            }) {
+                return Ok(objref);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PardisError::ObjectNotFound {
+                    name: name.to_string(),
+                    host: host.map(|h| format!("{h:?}")),
+                });
+            }
+            if cvar.wait_until(&mut reg, deadline).timed_out() {
+                // Loop once more to do the final lookup before failing.
+            }
+        }
+    }
+
+    /// Names currently registered (diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let (lock, _) = &*self.inner;
+        let reg = lock.lock();
+        let mut names: Vec<String> = reg.by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Default for NameService {
+    fn default() -> NameService {
+        NameService::new()
+    }
+}
+
+impl std::fmt::Debug for NameService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameService")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardis_net::HostId;
+
+    fn obj(name: &str, host: u32) -> ObjectRef {
+        ObjectRef {
+            name: name.into(),
+            type_id: "IDL:x:1.0".into(),
+            host: HostId(host),
+            request_port: 1,
+            data_ports: vec![],
+            nthreads: 1,
+            distributions: vec![],
+        }
+    }
+
+    #[test]
+    fn register_resolve() {
+        let ns = NameService::new();
+        assert!(ns.try_resolve("a", None).is_none());
+        ns.register(obj("a", 0));
+        assert_eq!(ns.try_resolve("a", None).unwrap().host, HostId(0));
+    }
+
+    #[test]
+    fn host_filter() {
+        let ns = NameService::new();
+        ns.register(obj("a", 0));
+        ns.register(obj("a", 1));
+        assert_eq!(
+            ns.try_resolve("a", Some(HostId(1))).unwrap().host,
+            HostId(1)
+        );
+        assert!(ns.try_resolve("a", Some(HostId(9))).is_none());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let ns = NameService::new();
+        let mut o = obj("a", 0);
+        ns.register(o.clone());
+        o.request_port = 99;
+        ns.register(o);
+        let got = ns.try_resolve("a", None).unwrap();
+        assert_eq!(got.request_port, 99);
+        // Only one entry for (a, host0).
+        ns.unregister("a", HostId(0));
+        assert!(ns.try_resolve("a", None).is_none());
+    }
+
+    #[test]
+    fn resolve_blocks_until_registered() {
+        let ns = NameService::new();
+        let ns2 = ns.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            ns2.register(obj("late", 3));
+        });
+        let got = ns.resolve("late", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(got.host, HostId(3));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn resolve_times_out() {
+        let ns = NameService::new();
+        let start = Instant::now();
+        let err = ns.resolve("never", None, Duration::from_millis(40));
+        assert!(matches!(err, Err(PardisError::ObjectNotFound { .. })));
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn names_listing() {
+        let ns = NameService::new();
+        ns.register(obj("b", 0));
+        ns.register(obj("a", 0));
+        assert_eq!(ns.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,246 @@
+//! The ORB context.
+//!
+//! An [`OrbCtx`] is one computing thread's handle on the PARDIS ORB. An
+//! SPMD program of `n` threads holds `n` contexts created collectively by
+//! [`OrbCtx::init`]; a sequential program holds one. The context owns:
+//!
+//! * the thread's RTS endpoint (intra-machine message passing),
+//! * the thread's **data port** — the per-thread network connection that
+//!   enables multi-port argument transfer (§3.3),
+//! * on the communicating thread (thread 0), the machine's **request
+//!   port**, where invocation headers arrive (§3.2/§3.3: the invocation
+//!   itself is always delivered centrally),
+//! * the naming domain, the servant registry, and buffered
+//!   data-transfer fragments.
+
+use crate::error::PardisResult;
+use crate::naming::NameService;
+use crate::request::InvokeTiming;
+use crate::server::Servant;
+use bytes::Bytes;
+use pardis_cdr::Endian;
+use pardis_net::giop::TransferHeader;
+use pardis_net::{Host, ObjectRef, PortId, PortRecv};
+use pardis_rts::Endpoint;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// ORB configuration knobs.
+#[derive(Debug, Clone)]
+pub struct OrbOptions {
+    /// Byte order used on the wire (native by default; forcing the
+    /// non-native order exercises the data-translation path end to end).
+    pub endian: Endian,
+    /// Apply data translation (per-word byte swap) when packing and
+    /// unpacking distributed arguments, simulating a heterogeneous peer
+    /// — the §3.3 ablation.
+    pub translate: bool,
+    /// How long `bind`/`spmd_bind` wait for the object to be activated.
+    pub resolve_timeout: Duration,
+}
+
+impl Default for OrbOptions {
+    fn default() -> OrbOptions {
+        OrbOptions {
+            endian: Endian::native(),
+            translate: false,
+            resolve_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Buffered early-arriving DataTransfer fragments, keyed by
+/// `(request_id, arg_index)`.
+pub(crate) type FragBuffer = HashMap<(u64, u32), VecDeque<(TransferHeader, Bytes)>>;
+
+/// One computing thread's handle on the ORB.
+pub struct OrbCtx {
+    pub(crate) rts: Endpoint,
+    pub(crate) host: Host,
+    pub(crate) naming: NameService,
+    /// This thread's data port (fragment traffic).
+    pub(crate) data_port: PortRecv,
+    /// Data port ids of every thread on this machine, in thread order.
+    pub(crate) data_port_ids: Vec<PortId>,
+    /// The machine's request port; only the communicating thread holds
+    /// the receiving half.
+    pub(crate) request_port: Option<PortRecv>,
+    pub(crate) request_port_id: PortId,
+    /// This thread's servant instances, by object name.
+    pub(crate) servants: RefCell<HashMap<String, Box<dyn Servant>>>,
+    /// DataTransfer fragments received early, keyed by (request, arg).
+    pub(crate) frags: RefCell<FragBuffer>,
+    /// Per-thread request id counter.
+    pub(crate) req_counter: Cell<u64>,
+    pub(crate) endian: Endian,
+    pub(crate) translate: bool,
+    /// Resolve timeout for binds.
+    pub(crate) resolve_timeout: Duration,
+    /// Timing of the most recent served request (server-side phases).
+    pub(crate) last_serve_timing: Cell<InvokeTiming>,
+}
+
+impl OrbCtx {
+    /// Collectively initialize the ORB across a machine's computing
+    /// threads: every thread of the RTS domain must call this once, with
+    /// the same `host` and `naming`.
+    pub fn init(rts: Endpoint, host: Host, naming: NameService, opts: OrbOptions) -> PardisResult<OrbCtx> {
+        // Each thread opens its own data port; advertise them to the
+        // whole machine.
+        let data_port = host.open_port();
+        let port_ids_u64 = rts.allgather_u64(data_port.port() as u64)?;
+        let data_port_ids: Vec<PortId> = port_ids_u64.into_iter().map(|p| p as PortId).collect();
+
+        // The communicating thread opens the request port.
+        let (request_port, request_port_id) = if rts.rank() == 0 {
+            let p = host.open_port();
+            let id = p.port();
+            rts.broadcast(0, Some(Bytes::copy_from_slice(&id.to_le_bytes())))?;
+            (Some(p), id)
+        } else {
+            let b = rts.broadcast(0, None)?;
+            let mut a = [0u8; 4];
+            a.copy_from_slice(&b[..4]);
+            (None, PortId::from_le_bytes(a))
+        };
+
+        Ok(OrbCtx {
+            rts,
+            host,
+            naming,
+            data_port,
+            data_port_ids,
+            request_port,
+            request_port_id,
+            servants: RefCell::new(HashMap::new()),
+            frags: RefCell::new(HashMap::new()),
+            req_counter: Cell::new(0),
+            endian: opts.endian,
+            translate: opts.translate,
+            resolve_timeout: opts.resolve_timeout,
+            last_serve_timing: Cell::new(InvokeTiming::default()),
+        })
+    }
+
+    /// This computing thread's index within the machine.
+    pub fn rank(&self) -> usize {
+        self.rts.rank()
+    }
+
+    /// Number of computing threads on this machine.
+    pub fn nthreads(&self) -> usize {
+        self.rts.size()
+    }
+
+    /// Whether this is the machine's communicating thread.
+    pub fn is_comm_thread(&self) -> bool {
+        self.rank() == 0
+    }
+
+    /// The thread's RTS endpoint — the paper's "interface to the
+    /// run-time system underlying the object implementation"; user code
+    /// (e.g. halo exchanges inside a servant) may use it directly.
+    pub fn rts(&self) -> &Endpoint {
+        &self.rts
+    }
+
+    /// Network identity of this machine.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// The naming domain this ORB participates in.
+    pub fn naming(&self) -> &NameService {
+        &self.naming
+    }
+
+    /// Wire byte order in use.
+    pub fn endian(&self) -> Endian {
+        self.endian
+    }
+
+    /// Whether data translation is being applied to distributed
+    /// arguments.
+    pub fn translate(&self) -> bool {
+        self.translate
+    }
+
+    /// Server-side phase timings of the most recently served request.
+    pub fn last_serve_timing(&self) -> InvokeTiming {
+        self.last_serve_timing.get()
+    }
+
+    /// A machine-unique request id: host, thread, then a counter.
+    pub(crate) fn next_request_id(&self) -> u64 {
+        let c = self.req_counter.get();
+        self.req_counter.set(c + 1);
+        ((self.host.id().0 as u64) << 48) | ((self.rank() as u64) << 32) | c
+    }
+
+    /// Register an SPMD object: every computing thread calls this with
+    /// its own servant instance (each thread implements its part of the
+    /// object, as in an SPMD program). The communicating thread publishes
+    /// the object reference — including every thread's data port and the
+    /// given distribution templates — in the naming domain.
+    ///
+    /// `distributions` mirrors the paper's pre-registration assignment
+    /// `_diff_object_sk::diffusion_myarray = new DistTempl(...)`.
+    pub fn register(
+        &self,
+        name: &str,
+        servant: Box<dyn Servant>,
+        distributions: Vec<pardis_net::ior::OpArgDist>,
+    ) -> PardisResult<ObjectRef> {
+        let type_id = servant.type_id().to_string();
+        self.servants
+            .borrow_mut()
+            .insert(name.to_string(), servant);
+        let objref = ObjectRef {
+            name: name.to_string(),
+            type_id,
+            host: self.host.id(),
+            request_port: self.request_port_id,
+            data_ports: self.data_port_ids.clone(),
+            nthreads: self.nthreads() as u32,
+            distributions,
+        };
+        if self.is_comm_thread() {
+            self.naming.register(objref.clone());
+        }
+        // Make registration visible before any thread returns to
+        // compute (a client may bind immediately).
+        self.rts.barrier();
+        Ok(objref)
+    }
+
+    /// Remove an object from this machine (collective).
+    pub fn unregister(&self, name: &str) {
+        self.servants.borrow_mut().remove(name);
+        if self.is_comm_thread() {
+            self.naming.unregister(name, self.host.id());
+        }
+        self.rts.barrier();
+    }
+
+    /// Ask the SPMD object behind `objref` to leave its serve loop.
+    /// Non-collective; call from one thread.
+    pub fn send_shutdown(&self, objref: &ObjectRef) -> PardisResult<()> {
+        let msg = pardis_net::giop::GiopMessage::CloseConnection;
+        self.host
+            .send_to(objref.host, objref.request_port, msg.encode(self.endian))?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for OrbCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrbCtx")
+            .field("host", &self.host.name())
+            .field("rank", &self.rank())
+            .field("nthreads", &self.nthreads())
+            .field("request_port", &self.request_port_id)
+            .field("data_port", &self.data_port.port())
+            .finish()
+    }
+}

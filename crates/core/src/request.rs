@@ -1,0 +1,575 @@
+//! Request/reply body formats and argument descriptions.
+//!
+//! A PARDIS invocation carries two kinds of arguments:
+//!
+//! * **non-distributed** arguments ("it is assumed that all threads will
+//!   invoke the request with identical values of non-distributed
+//!   arguments", §2.1) — marshaled once into an opaque body,
+//! * **distributed** arguments — described by a [`DistArgMeta`] and
+//!   carried either inline (centralized method) or as thread-to-thread
+//!   DataTransfer fragments (multi-port method).
+//!
+//! The body formats here are shared by both transfer engines; which one
+//! populated the inline data section is recorded per argument.
+
+use crate::dist::DistTempl;
+use crate::error::{PardisError, PardisResult};
+use bytes::Bytes;
+use pardis_cdr::{CdrReader, CdrResult, CdrWriter};
+use std::time::Duration;
+
+/// IDL parameter passing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgDir {
+    /// `in`: client → server only.
+    In,
+    /// `out`: server → client only.
+    Out,
+    /// `inout`: both directions.
+    InOut,
+}
+
+impl ArgDir {
+    /// Data travels client → server.
+    pub fn sends(self) -> bool {
+        matches!(self, ArgDir::In | ArgDir::InOut)
+    }
+    /// Data travels server → client.
+    pub fn returns(self) -> bool {
+        matches!(self, ArgDir::Out | ArgDir::InOut)
+    }
+
+    fn to_wire(self) -> u8 {
+        match self {
+            ArgDir::In => 0,
+            ArgDir::Out => 1,
+            ArgDir::InOut => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> PardisResult<ArgDir> {
+        match b {
+            0 => Ok(ArgDir::In),
+            1 => Ok(ArgDir::Out),
+            2 => Ok(ArgDir::InOut),
+            other => Err(PardisError::Cdr(format!("bad ArgDir {other}"))),
+        }
+    }
+}
+
+/// Wire metadata for one distributed argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistArgMeta {
+    /// Passing mode.
+    pub dir: ArgDir,
+    /// Bytes per element.
+    pub elem_size: usize,
+    /// Global element count.
+    pub total_len: usize,
+    /// Client-side per-thread element counts (reply routing).
+    pub client_counts: Vec<usize>,
+    /// Server-side per-thread element counts (request routing).
+    pub server_counts: Vec<usize>,
+}
+
+impl DistArgMeta {
+    /// Client-side template.
+    pub fn client_templ(&self) -> DistTempl {
+        DistTempl::from_counts(self.client_counts.clone())
+    }
+    /// Server-side template.
+    pub fn server_templ(&self) -> DistTempl {
+        DistTempl::from_counts(self.server_counts.clone())
+    }
+
+    fn encode(&self, w: &mut CdrWriter) {
+        w.put_u8(self.dir.to_wire());
+        w.put_u32(self.elem_size as u32);
+        w.put_u64(self.total_len as u64);
+        encode_counts(w, &self.client_counts);
+        encode_counts(w, &self.server_counts);
+    }
+
+    fn decode(r: &mut CdrReader<'_>) -> PardisResult<DistArgMeta> {
+        let dir = ArgDir::from_wire(r.get_u8()?)?;
+        let elem_size = r.get_u32()? as usize;
+        let total_len = r.get_u64()? as usize;
+        let client_counts = decode_counts(r)?;
+        let server_counts = decode_counts(r)?;
+        let meta = DistArgMeta {
+            dir,
+            elem_size,
+            total_len,
+            client_counts,
+            server_counts,
+        };
+        meta.validate()?;
+        Ok(meta)
+    }
+
+    /// Consistency checks applied on decode: both templates must cover
+    /// exactly `total_len` elements.
+    pub fn validate(&self) -> PardisResult<()> {
+        let c: usize = self.client_counts.iter().sum();
+        let s: usize = self.server_counts.iter().sum();
+        if c != self.total_len || s != self.total_len {
+            return Err(PardisError::BadDistArg(format!(
+                "templates cover {c}/{s} elements, sequence has {}",
+                self.total_len
+            )));
+        }
+        if self.elem_size == 0 {
+            return Err(PardisError::BadDistArg("zero element size".into()));
+        }
+        Ok(())
+    }
+}
+
+fn encode_counts(w: &mut CdrWriter, counts: &[usize]) {
+    w.put_u32(counts.len() as u32);
+    for &c in counts {
+        w.put_u64(c as u64);
+    }
+}
+
+fn decode_counts(r: &mut CdrReader<'_>) -> PardisResult<Vec<usize>> {
+    let n = r.get_u32()? as usize;
+    if n > r.remaining() {
+        return Err(PardisError::Cdr("counts overflow".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_u64()? as usize);
+    }
+    Ok(out)
+}
+
+/// Decoded request body: the opaque non-distributed section plus, per
+/// distributed argument, its metadata and (centralized mode only) its
+/// full inline data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestBody {
+    /// Marshaled non-distributed `in`/`inout` arguments.
+    pub nondist: Bytes,
+    /// One entry per distributed argument, in signature order.
+    pub dist: Vec<(DistArgMeta, Option<Bytes>)>,
+}
+
+impl RequestBody {
+    /// Encode into a CDR stream (body of a Request message).
+    pub fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+        w.put_u32(self.dist.len() as u32);
+        w.put_u32(self.nondist.len() as u32);
+        w.align(8);
+        w.put_bytes(&self.nondist);
+        for (meta, data) in &self.dist {
+            meta.encode(w);
+            match data {
+                None => w.put_bool(false),
+                Some(d) => {
+                    w.put_bool(true);
+                    w.put_u64(d.len() as u64);
+                    w.align(8);
+                    w.put_bytes(d);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode to bytes in the given byte order.
+    pub fn to_bytes(&self, endian: pardis_cdr::Endian) -> Bytes {
+        let cap = 64
+            + self.nondist.len()
+            + self
+                .dist
+                .iter()
+                .map(|(_, d)| d.as_ref().map_or(64, |b| b.len() + 64))
+                .sum::<usize>();
+        let mut w = CdrWriter::with_capacity(endian, cap);
+        self.encode(&mut w).expect("request body encode");
+        w.into_shared()
+    }
+
+    /// Decode from the body bytes of a Request message.
+    pub fn decode(buf: &Bytes, endian: pardis_cdr::Endian) -> PardisResult<RequestBody> {
+        let mut r = CdrReader::new(buf, endian);
+        let ndist = r.get_u32()? as usize;
+        if ndist > r.remaining() {
+            return Err(PardisError::Cdr("dist count overflow".into()));
+        }
+        let nondist_len = r.get_u32()? as usize;
+        r.align(8)?;
+        let start = r.position();
+        if nondist_len > r.remaining() {
+            return Err(PardisError::Cdr("nondist body truncated".into()));
+        }
+        let nondist = buf.slice(start..start + nondist_len);
+        let _ = r.take(nondist_len)?;
+        let mut dist = Vec::with_capacity(ndist);
+        for _ in 0..ndist {
+            let meta = DistArgMeta::decode(&mut r)?;
+            let data = if r.get_bool()? {
+                let len = r.get_u64()? as usize;
+                r.align(8)?;
+                let s = r.position();
+                if len > r.remaining() {
+                    return Err(PardisError::Cdr("dist data truncated".into()));
+                }
+                let d = buf.slice(s..s + len);
+                let _ = r.take(len)?;
+                Some(d)
+            } else {
+                None
+            };
+            dist.push((meta, data));
+        }
+        Ok(RequestBody { nondist, dist })
+    }
+}
+
+/// Decoded reply body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyBody {
+    /// Marshaled non-distributed `out`/`inout`/return values.
+    pub nondist: Bytes,
+    /// Per returning distributed argument: its index in the request's
+    /// dist-arg list, the global length, and (centralized mode) the full
+    /// inline data.
+    pub dist_out: Vec<(u32, usize, Option<Bytes>)>,
+}
+
+impl ReplyBody {
+    /// Encode into a CDR stream (body of a Reply message).
+    pub fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+        w.put_u32(self.dist_out.len() as u32);
+        w.put_u32(self.nondist.len() as u32);
+        w.align(8);
+        w.put_bytes(&self.nondist);
+        for (idx, total_len, data) in &self.dist_out {
+            w.put_u32(*idx);
+            w.put_u64(*total_len as u64);
+            match data {
+                None => w.put_bool(false),
+                Some(d) => {
+                    w.put_bool(true);
+                    w.put_u64(d.len() as u64);
+                    w.align(8);
+                    w.put_bytes(d);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode to bytes in the given byte order.
+    pub fn to_bytes(&self, endian: pardis_cdr::Endian) -> Bytes {
+        let cap = 64
+            + self.nondist.len()
+            + self
+                .dist_out
+                .iter()
+                .map(|(_, _, d)| d.as_ref().map_or(32, |b| b.len() + 32))
+                .sum::<usize>();
+        let mut w = CdrWriter::with_capacity(endian, cap);
+        self.encode(&mut w).expect("reply body encode");
+        w.into_shared()
+    }
+
+    /// Decode from the body bytes of a Reply message.
+    pub fn decode(buf: &Bytes, endian: pardis_cdr::Endian) -> PardisResult<ReplyBody> {
+        let mut r = CdrReader::new(buf, endian);
+        let nout = r.get_u32()? as usize;
+        if nout > r.remaining() {
+            return Err(PardisError::Cdr("dist_out count overflow".into()));
+        }
+        let nondist_len = r.get_u32()? as usize;
+        r.align(8)?;
+        let start = r.position();
+        if nondist_len > r.remaining() {
+            return Err(PardisError::Cdr("nondist body truncated".into()));
+        }
+        let nondist = buf.slice(start..start + nondist_len);
+        let _ = r.take(nondist_len)?;
+        let mut dist_out = Vec::with_capacity(nout);
+        for _ in 0..nout {
+            let idx = r.get_u32()?;
+            let total_len = r.get_u64()? as usize;
+            let data = if r.get_bool()? {
+                let len = r.get_u64()? as usize;
+                r.align(8)?;
+                let s = r.position();
+                if len > r.remaining() {
+                    return Err(PardisError::Cdr("dist_out data truncated".into()));
+                }
+                let d = buf.slice(s..s + len);
+                let _ = r.take(len)?;
+                Some(d)
+            } else {
+                None
+            };
+            dist_out.push((idx, total_len, data));
+        }
+        Ok(ReplyBody { nondist, dist_out })
+    }
+}
+
+/// One distributed argument as supplied by a client computing thread.
+#[derive(Debug, Clone)]
+pub struct DistArgSend {
+    /// Passing mode.
+    pub dir: ArgDir,
+    /// Bytes per element.
+    pub elem_size: usize,
+    /// This thread's local part in native byte order; empty for `out`
+    /// arguments.
+    pub local: Bytes,
+    /// Client-side layout.
+    pub client_templ: DistTempl,
+    /// Server-side layout (materialized from the object reference's
+    /// registered template, defaulting to blockwise).
+    pub server_templ: DistTempl,
+}
+
+impl DistArgSend {
+    /// Wire metadata for this argument.
+    pub fn meta(&self) -> DistArgMeta {
+        DistArgMeta {
+            dir: self.dir,
+            elem_size: self.elem_size,
+            total_len: self.client_templ.len(),
+            client_counts: self.client_templ.counts().to_vec(),
+            server_counts: self.server_templ.counts().to_vec(),
+        }
+    }
+}
+
+/// A fully described outgoing invocation (one per computing thread; the
+/// non-distributed body must be identical across threads).
+#[derive(Debug, Clone)]
+pub struct RequestSpec {
+    /// Operation name.
+    pub operation: String,
+    /// Marshaled non-distributed `in`/`inout` arguments.
+    pub nondist_body: Bytes,
+    /// Distributed arguments in signature order.
+    pub dist_args: Vec<DistArgSend>,
+    /// False for `oneway` operations.
+    pub response_expected: bool,
+}
+
+impl RequestSpec {
+    /// A request with no arguments.
+    pub fn simple(operation: &str) -> RequestSpec {
+        RequestSpec {
+            operation: operation.to_string(),
+            nondist_body: Bytes::new(),
+            dist_args: Vec::new(),
+            response_expected: true,
+        }
+    }
+}
+
+/// Phase timings of one invocation, measured on the calling thread.
+/// Mirrors the columns of the paper's Tables 1 and 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InvokeTiming {
+    /// Wall-clock of the whole invocation (T in the tables).
+    pub total: Duration,
+    /// Marshaling time (pack).
+    pub pack: Duration,
+    /// Network send time (from first send to last send completion).
+    pub send: Duration,
+    /// Gathering distributed arguments at the communicating thread
+    /// (centralized method only).
+    pub gather: Duration,
+    /// Scattering received arguments to computing threads (centralized
+    /// method only).
+    pub scatter: Duration,
+    /// Receive + unmarshal time.
+    pub recv_unpack: Duration,
+    /// Time spent waiting in the post-invocation barrier.
+    pub barrier: Duration,
+}
+
+impl InvokeTiming {
+    /// Merge per-phase maxima (used to report "maximum over all threads
+    /// involved" as Table 2 does).
+    pub fn max_with(&mut self, other: &InvokeTiming) {
+        self.total = self.total.max(other.total);
+        self.pack = self.pack.max(other.pack);
+        self.send = self.send.max(other.send);
+        self.gather = self.gather.max(other.gather);
+        self.scatter = self.scatter.max(other.scatter);
+        self.recv_unpack = self.recv_unpack.max(other.recv_unpack);
+        self.barrier = self.barrier.max(other.barrier);
+    }
+}
+
+/// The client-visible result of an invocation.
+#[derive(Debug, Clone)]
+pub struct ReplyResult {
+    /// Marshaled non-distributed results.
+    pub nondist_body: Bytes,
+    /// For each request dist-arg index that returns data: this thread's
+    /// new local part (native order), keyed by position in the request's
+    /// dist-arg list.
+    pub dist_out: Vec<(u32, Vec<u8>)>,
+    /// Phase timings on this thread.
+    pub timing: InvokeTiming,
+}
+
+impl ReplyResult {
+    /// Local bytes returned for request dist-arg `idx`, if any.
+    pub fn dist_local(&self, idx: u32) -> Option<&[u8]> {
+        self.dist_out
+            .iter()
+            .find(|(i, _)| *i == idx)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pardis_cdr::Endian;
+
+    fn meta(dir: ArgDir) -> DistArgMeta {
+        DistArgMeta {
+            dir,
+            elem_size: 8,
+            total_len: 10,
+            client_counts: vec![5, 5],
+            server_counts: vec![4, 3, 3],
+        }
+    }
+
+    #[test]
+    fn request_body_roundtrip_inline() {
+        let body = RequestBody {
+            nondist: Bytes::from_static(b"nd-args"),
+            dist: vec![
+                (meta(ArgDir::InOut), Some(Bytes::from(vec![7u8; 80]))),
+                (meta(ArgDir::In), None),
+            ],
+        };
+        for endian in [Endian::Big, Endian::Little] {
+            let bytes = body.to_bytes(endian);
+            let back = RequestBody::decode(&bytes, endian).unwrap();
+            assert_eq!(back, body);
+        }
+    }
+
+    #[test]
+    fn reply_body_roundtrip() {
+        let body = ReplyBody {
+            nondist: Bytes::from_static(b"result"),
+            dist_out: vec![
+                (0, 10, Some(Bytes::from(vec![1u8; 80]))),
+                (2, 4, None),
+            ],
+        };
+        let bytes = body.to_bytes(Endian::native());
+        assert_eq!(ReplyBody::decode(&bytes, Endian::native()).unwrap(), body);
+    }
+
+    #[test]
+    fn empty_bodies_roundtrip() {
+        let body = RequestBody {
+            nondist: Bytes::new(),
+            dist: vec![],
+        };
+        let bytes = body.to_bytes(Endian::native());
+        assert_eq!(RequestBody::decode(&bytes, Endian::native()).unwrap(), body);
+
+        let body = ReplyBody {
+            nondist: Bytes::new(),
+            dist_out: vec![],
+        };
+        let bytes = body.to_bytes(Endian::native());
+        assert_eq!(ReplyBody::decode(&bytes, Endian::native()).unwrap(), body);
+    }
+
+    #[test]
+    fn meta_validation_catches_bad_totals() {
+        let mut m = meta(ArgDir::In);
+        assert!(m.validate().is_ok());
+        m.server_counts = vec![1, 1, 1];
+        assert!(m.validate().is_err());
+        let mut m = meta(ArgDir::In);
+        m.elem_size = 0;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_meta() {
+        let body = RequestBody {
+            nondist: Bytes::new(),
+            dist: vec![(
+                DistArgMeta {
+                    dir: ArgDir::In,
+                    elem_size: 8,
+                    total_len: 10,
+                    client_counts: vec![1], // wrong total
+                    server_counts: vec![10],
+                },
+                None,
+            )],
+        };
+        let bytes = body.to_bytes(Endian::native());
+        assert!(RequestBody::decode(&bytes, Endian::native()).is_err());
+    }
+
+    #[test]
+    fn argdir_properties() {
+        assert!(ArgDir::In.sends() && !ArgDir::In.returns());
+        assert!(!ArgDir::Out.sends() && ArgDir::Out.returns());
+        assert!(ArgDir::InOut.sends() && ArgDir::InOut.returns());
+    }
+
+    #[test]
+    fn timing_max_merge() {
+        let mut a = InvokeTiming {
+            total: Duration::from_millis(5),
+            pack: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let b = InvokeTiming {
+            total: Duration::from_millis(3),
+            pack: Duration::from_millis(2),
+            send: Duration::from_millis(9),
+            ..Default::default()
+        };
+        a.max_with(&b);
+        assert_eq!(a.total, Duration::from_millis(5));
+        assert_eq!(a.pack, Duration::from_millis(2));
+        assert_eq!(a.send, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn truncated_request_rejected() {
+        let body = RequestBody {
+            nondist: Bytes::from_static(b"abc"),
+            dist: vec![(meta(ArgDir::In), Some(Bytes::from(vec![0u8; 64])))],
+        };
+        let bytes = body.to_bytes(Endian::native());
+        let cut = bytes.slice(0..bytes.len() - 32);
+        assert!(RequestBody::decode(&cut, Endian::native()).is_err());
+    }
+
+    #[test]
+    fn dist_arg_send_meta() {
+        let a = DistArgSend {
+            dir: ArgDir::In,
+            elem_size: 8,
+            local: Bytes::from(vec![0u8; 40]),
+            client_templ: DistTempl::block(10, 2),
+            server_templ: DistTempl::block(10, 3),
+        };
+        let m = a.meta();
+        assert_eq!(m.total_len, 10);
+        assert_eq!(m.client_counts, vec![5, 5]);
+        assert_eq!(m.server_counts, vec![4, 3, 3]);
+        assert!(m.validate().is_ok());
+    }
+}

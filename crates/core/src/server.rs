@@ -1,0 +1,465 @@
+//! Server-side object model: servants, request dispatch, serve loops.
+//!
+//! An SPMD object is "an object associated with a set of one or more
+//! computing threads visible to the request broker, … capable of
+//! satisfying services if and only if a request for them is delivered to
+//! all the computing threads" (§2). Concretely:
+//!
+//! * every computing thread registers its own [`Servant`] instance for
+//!   the object (each thread implements its share of the computation),
+//! * the communicating thread receives invocation headers on the
+//!   machine's request port and relays them to all threads through the
+//!   RTS,
+//! * every thread materializes its local parts of the distributed
+//!   arguments (scattered centrally or assembled from multi-port
+//!   fragments), dispatches into its servant, synchronizes, and the
+//!   reply flows back by the same method the request used.
+//!
+//! Serve loops come in three flavors: [`OrbCtx::serve_forever`] (until a
+//! shutdown message), [`OrbCtx::serve_n`], and [`OrbCtx::poll_requests`]
+//! — the paper's "server to interrupt its computation in order to
+//! process outstanding requests" (§2.1).
+
+use crate::dist::DistTempl;
+use crate::dseq::{DSequence, Elem};
+use crate::error::{PardisError, PardisResult};
+use crate::orb::OrbCtx;
+use crate::request::{ArgDir, InvokeTiming, RequestBody};
+use crate::transfer::{centralized, multiport};
+use bytes::Bytes;
+use pardis_cdr::{CdrReader, CdrResult, CdrWriter, Endian};
+use pardis_net::giop::{GiopMessage, ReplyHeader, ReplyStatus, RequestHeader, TransferMode};
+use pardis_rts::ReduceOp;
+use std::time::{Duration, Instant};
+
+/// One computing thread's implementation of (its share of) an object.
+pub trait Servant: Send {
+    /// Interface repository id, e.g. `IDL:diff_object:1.0`. Must agree
+    /// across all threads registering the same object.
+    fn type_id(&self) -> &str;
+
+    /// Handle one operation invocation. Called collectively: every
+    /// computing thread of the object dispatches the same request with
+    /// its own local argument parts. Returning
+    /// [`PardisError::UserException`] reports an IDL-declared exception;
+    /// other errors become system exceptions.
+    fn dispatch(&mut self, req: &mut ServerRequest<'_>) -> PardisResult<()>;
+}
+
+/// A received distributed argument, as seen by one computing thread.
+#[derive(Debug, Clone)]
+pub struct DistIn {
+    /// Passing mode.
+    pub dir: ArgDir,
+    /// Bytes per element.
+    pub elem_size: usize,
+    /// Layout on the client.
+    pub client_templ: DistTempl,
+    /// Layout on this server (this thread owns
+    /// `server_templ.range(rank)`).
+    pub server_templ: DistTempl,
+    /// This thread's local part, native byte order. Zero-filled for
+    /// `out` arguments.
+    pub local: Vec<u8>,
+}
+
+/// One invocation as presented to a servant.
+pub struct ServerRequest<'a> {
+    ctx: &'a OrbCtx,
+    operation: String,
+    endian: Endian,
+    nondist: Bytes,
+    dist_in: Vec<DistIn>,
+    reply_nondist: Bytes,
+    reply_dist: Vec<Option<Vec<u8>>>,
+}
+
+impl<'a> ServerRequest<'a> {
+    /// The operation being invoked.
+    pub fn operation(&self) -> &str {
+        &self.operation
+    }
+
+    /// The ORB context of this computing thread (rank, RTS access for
+    /// intra-object communication such as halo exchanges).
+    pub fn ctx(&self) -> &OrbCtx {
+        self.ctx
+    }
+
+    /// CDR reader over the non-distributed `in`/`inout` arguments.
+    pub fn args(&self) -> CdrReader<'_> {
+        CdrReader::new(&self.nondist, self.endian)
+    }
+
+    /// Number of distributed arguments.
+    pub fn dist_count(&self) -> usize {
+        self.dist_in.len()
+    }
+
+    /// Raw view of distributed argument `idx`.
+    pub fn dist_raw(&self, idx: usize) -> PardisResult<&DistIn> {
+        self.dist_in
+            .get(idx)
+            .ok_or_else(|| PardisError::BadDistArg(format!("no distributed argument {idx}")))
+    }
+
+    /// Materialize distributed argument `idx` as a typed sequence (this
+    /// thread's local part).
+    pub fn dist_seq<T: Elem>(&self, idx: usize) -> PardisResult<DSequence<T>> {
+        let d = self.dist_raw(idx)?;
+        if d.elem_size != T::wire_size() {
+            return Err(PardisError::BadDistArg(format!(
+                "argument {idx} has {}-byte elements, requested type has {}",
+                d.elem_size,
+                T::wire_size()
+            )));
+        }
+        let local = T::from_native_bytes(&d.local);
+        DSequence::from_parts(local, d.server_templ.clone(), self.ctx.rank())
+    }
+
+    /// Marshal the non-distributed results (out/inout/return values).
+    /// All threads must write identical bytes; the communicating thread's
+    /// copy travels back.
+    pub fn set_result<F>(&mut self, f: F) -> PardisResult<()>
+    where
+        F: FnOnce(&mut CdrWriter) -> CdrResult<()>,
+    {
+        let mut w = CdrWriter::new(self.endian);
+        f(&mut w)?;
+        self.reply_nondist = w.into_shared();
+        Ok(())
+    }
+
+    /// Return this thread's local part of distributed argument `idx`
+    /// (which must be `out` or `inout`). The sequence must keep the
+    /// layout the argument arrived with — PARDIS does not resize
+    /// sequences across an invocation boundary.
+    pub fn return_dist_seq<T: Elem>(&mut self, idx: usize, seq: &DSequence<T>) -> PardisResult<()> {
+        let d = self
+            .dist_in
+            .get(idx)
+            .ok_or_else(|| PardisError::BadDistArg(format!("no distributed argument {idx}")))?;
+        if !d.dir.returns() {
+            return Err(PardisError::BadDistArg(format!(
+                "argument {idx} is `in`; it cannot be returned"
+            )));
+        }
+        if seq.templ() != &d.server_templ {
+            return Err(PardisError::BadDistArg(format!(
+                "returned sequence layout differs from the argument's (len {} vs {})",
+                seq.len(),
+                d.server_templ.len()
+            )));
+        }
+        self.reply_dist[idx] = Some(T::to_native_bytes(seq.local_data()).to_vec());
+        Ok(())
+    }
+
+    /// The marshaled non-distributed results (for the reply engines).
+    pub(crate) fn reply_nondist_bytes(&self) -> Bytes {
+        self.reply_nondist.clone()
+    }
+
+    /// Final reply bytes for a returning argument: what the servant
+    /// stored, falling back to the (unmodified) request data for `inout`
+    /// and zeros for `out`.
+    pub(crate) fn reply_local(&self, idx: usize) -> &[u8] {
+        match &self.reply_dist[idx] {
+            Some(v) => v,
+            None => &self.dist_in[idx].local,
+        }
+    }
+}
+
+impl OrbCtx {
+    /// Serve exactly one request (collective across the machine's
+    /// threads; blocks until a request or shutdown arrives). Returns
+    /// `false` if a shutdown message ended the loop.
+    pub fn serve_one(&self) -> PardisResult<bool> {
+        let payload = self.next_served_payload(None)?;
+        match payload {
+            Some(p) => self.serve_payload(p),
+            None => Ok(true), // spurious wake with timeout; not used here
+        }
+    }
+
+    /// Serve requests until shutdown.
+    pub fn serve_forever(&self) -> PardisResult<()> {
+        while self.serve_one()? {}
+        Ok(())
+    }
+
+    /// Serve up to `n` requests or until shutdown; returns the number
+    /// actually served.
+    pub fn serve_n(&self, n: usize) -> PardisResult<usize> {
+        let mut served = 0;
+        while served < n {
+            if !self.serve_one()? {
+                break;
+            }
+            served += 1;
+        }
+        Ok(served)
+    }
+
+    /// Drain any requests that are already waiting, without blocking —
+    /// the paper's "interrupt its computation in order to process
+    /// outstanding requests". Collective. Returns the number served;
+    /// shutdown messages found while draining are ignored (a polling
+    /// server decides when to stop).
+    pub fn poll_requests(&self) -> PardisResult<usize> {
+        let mut served = 0;
+        loop {
+            match self.next_served_payload(Some(Duration::ZERO))? {
+                None => return Ok(served),
+                Some(p) => {
+                    if self.serve_payload(p)? {
+                        served += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Communicating thread pulls the next request (optionally
+    /// non-blocking) and relays it to all threads. Returns `None` when a
+    /// non-blocking poll found nothing.
+    ///
+    /// In the centralized method the relayed copy is *stripped* of any
+    /// inline argument data — data is scattered separately so the cost
+    /// model matches the real system (only the communicating thread ever
+    /// holds the whole argument). The stripped data is stashed in
+    /// `self.pending_inline` equivalent: it is re-attached by
+    /// `serve_payload` on the communicating thread via thread-local
+    /// state kept in the returned payload pair.
+    fn next_served_payload(&self, poll: Option<Duration>) -> PardisResult<Option<ServedPayload>> {
+        if self.is_comm_thread() {
+            let dg = match poll {
+                None => Some(self.request_port.as_ref().expect("comm thread").recv()?),
+                Some(_) => self.request_port.as_ref().expect("comm thread").try_recv(),
+            };
+            // Tell the other threads whether anything arrived.
+            let flag = dg.is_some() as u64;
+            self.rts.broadcast(0, Some(Bytes::copy_from_slice(&flag.to_le_bytes())))?;
+            let dg = match dg {
+                None => return Ok(None),
+                Some(dg) => dg,
+            };
+            let endian = GiopMessage::body_endian(&dg.payload)?;
+            match GiopMessage::decode(&dg.payload)? {
+                GiopMessage::Request(header, body) => {
+                    let req = RequestBody::decode(&body, endian)?;
+                    // Strip inline data before relaying.
+                    let inline: Vec<Option<Bytes>> =
+                        req.dist.iter().map(|(_, d)| d.clone()).collect();
+                    let control = RequestBody {
+                        nondist: req.nondist.clone(),
+                        dist: req
+                            .dist
+                            .iter()
+                            .map(|(m, _)| (m.clone(), None))
+                            .collect(),
+                    };
+                    let control_wire = GiopMessage::Request(header.clone(), control.to_bytes(endian))
+                        .encode(endian);
+                    self.rts.broadcast(0, Some(control_wire))?;
+                    Ok(Some(ServedPayload::new(header, control, endian, Some(inline))))
+                }
+                GiopMessage::CloseConnection => {
+                    self.rts.broadcast(0, Some(dg.payload))?;
+                    Ok(Some(ServedPayload::shutdown(endian)))
+                }
+                other => Err(PardisError::Net(format!(
+                    "unexpected message on request port: {other:?}"
+                ))),
+            }
+        } else {
+            let flag = self.rts.broadcast(0, None)?;
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&flag[..8]);
+            if u64::from_le_bytes(a) == 0 {
+                return Ok(None);
+            }
+            let wire = self.rts.broadcast(0, None)?;
+            let endian = GiopMessage::body_endian(&wire)?;
+            match GiopMessage::decode(&wire)? {
+                GiopMessage::Request(header, body) => {
+                    let req = RequestBody::decode(&body, endian)?;
+                    Ok(Some(ServedPayload::new(header, req, endian, None)))
+                }
+                GiopMessage::CloseConnection => Ok(Some(ServedPayload::shutdown(endian))),
+                other => Err(PardisError::Net(format!(
+                    "unexpected relayed message: {other:?}"
+                ))),
+            }
+        }
+    }
+
+    /// Process one relayed request. Returns `false` for shutdown.
+    fn serve_payload(&self, p: ServedPayload) -> PardisResult<bool> {
+        let ServedPayload {
+            header,
+            body,
+            endian,
+            inline,
+        } = p;
+        let header = match header {
+            Some(h) => h,
+            None => return Ok(false), // shutdown
+        };
+        let mut timing = InvokeTiming::default();
+        let t0 = Instant::now();
+
+        // Materialize this thread's local parts of the distributed
+        // arguments.
+        let dist_in = match header.mode {
+            TransferMode::Centralized => {
+                centralized::server_receive_args(self, &body, inline, &mut timing)?
+            }
+            TransferMode::MultiPort => {
+                multiport::server_receive_args(self, header.request_id, &body, &mut timing)?
+            }
+        };
+
+        // Dispatch into this thread's servant.
+        let n_dist = dist_in.len();
+        let mut sreq = ServerRequest {
+            ctx: self,
+            operation: header.operation.clone(),
+            endian,
+            nondist: body.nondist.clone(),
+            dist_in,
+            reply_nondist: Bytes::new(),
+            reply_dist: vec![None; n_dist],
+        };
+        let servant = self.servants.borrow_mut().remove(&header.object_name);
+        let result = match servant {
+            None => Err(PardisError::ObjectNotFound {
+                name: header.object_name.clone(),
+                host: Some(self.host.name()),
+            }),
+            Some(mut s) => {
+                let r = s.dispatch(&mut sreq);
+                self.servants
+                    .borrow_mut()
+                    .insert(header.object_name.clone(), s);
+                r
+            }
+        };
+
+        // Post-invocation synchronization (§3.2: "after the invocation
+        // the server's computing threads synchronize").
+        let tb = Instant::now();
+        self.rts.barrier();
+        timing.barrier = tb.elapsed();
+
+        // Agree machine-wide on success before sending any data:
+        // a thread that failed must not leave the client waiting for
+        // fragments that will never come.
+        let any_err = self
+            .rts
+            .allreduce_f64(&[if result.is_err() { 1.0 } else { 0.0 }], ReduceOp::Max)?[0]
+            > 0.0;
+
+        if header.response_expected {
+            if any_err {
+                // Collect the error texts; the communicating thread
+                // reports the first one.
+                let msg = match &result {
+                    Err(e) => e.to_string(),
+                    Ok(()) => String::new(),
+                };
+                let gathered = self
+                    .rts
+                    .gather_bytes(0, Bytes::copy_from_slice(msg.as_bytes()))?;
+                if let Some(chunks) = gathered {
+                    let first = chunks
+                        .iter()
+                        .find(|c| !c.is_empty())
+                        .map(|c| String::from_utf8_lossy(c).into_owned())
+                        .unwrap_or_else(|| "unknown error".into());
+                    let status = if first.starts_with("user exception") {
+                        ReplyStatus::UserException(
+                            first.trim_start_matches("user exception: ").to_string(),
+                        )
+                    } else {
+                        ReplyStatus::SystemException(first)
+                    };
+                    let empty = crate::request::ReplyBody {
+                        nondist: Bytes::new(),
+                        dist_out: vec![],
+                    };
+                    let reply = GiopMessage::Reply(
+                        ReplyHeader {
+                            request_id: header.request_id,
+                            status,
+                        },
+                        empty.to_bytes(endian),
+                    );
+                    self.host.send_to(
+                        header.reply_host,
+                        header.reply_port,
+                        reply.encode(endian),
+                    )?;
+                }
+            } else {
+                match header.mode {
+                    TransferMode::Centralized => {
+                        centralized::server_send_reply(self, &header, &sreq, endian, &mut timing)?
+                    }
+                    TransferMode::MultiPort => {
+                        multiport::server_send_reply(self, &header, &sreq, endian, &mut timing)?
+                    }
+                }
+            }
+        }
+
+        timing.total = t0.elapsed();
+        self.last_serve_timing.set(timing);
+        Ok(true)
+    }
+}
+
+/// A request after relay to all threads.
+struct ServedPayload {
+    /// `None` signals shutdown.
+    header: Option<RequestHeader>,
+    body: RequestBody,
+    endian: Endian,
+    /// Inline argument data, present only on the communicating thread in
+    /// centralized mode.
+    inline: Option<Vec<Option<Bytes>>>,
+}
+
+impl ServedPayload {
+    fn shutdown(endian: Endian) -> ServedPayload {
+        ServedPayload {
+            header: None,
+            body: RequestBody {
+                nondist: Bytes::new(),
+                dist: vec![],
+            },
+            endian,
+            inline: None,
+        }
+    }
+}
+
+// ServedPayload carries Option<RequestHeader>; adapt construction sites.
+#[allow(clippy::needless_update)]
+impl ServedPayload {
+    fn new(
+        header: RequestHeader,
+        body: RequestBody,
+        endian: Endian,
+        inline: Option<Vec<Option<Bytes>>>,
+    ) -> ServedPayload {
+        ServedPayload {
+            header: Some(header),
+            body,
+            endian,
+            inline,
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Deployment harness: machines, a fabric, a naming domain.
+//!
+//! A [`World`] stands in for the paper's testbed: two (or more) parallel
+//! machines joined by a network, sharing one naming domain. It exists so
+//! that tests, examples and benchmarks can express "run this SPMD
+//! program on a 4-thread client machine and that one on an 8-thread
+//! server machine" in a few lines:
+//!
+//! ```
+//! use pardis_core::world::World;
+//! use pardis_net::LinkSpec;
+//!
+//! let world = World::new(LinkSpec::unlimited());
+//! let server = world.spawn_machine("challenge", 2, |ctx| ctx.nthreads());
+//! let client = world.spawn_machine("onyx", 3, |ctx| ctx.rank());
+//! assert_eq!(server.join(), vec![2, 2]);
+//! assert_eq!(client.join(), vec![0, 1, 2]);
+//! ```
+
+use crate::error::PardisResult;
+use crate::naming::NameService;
+use crate::orb::{OrbCtx, OrbOptions};
+use pardis_net::{Fabric, LinkSpec};
+use pardis_rts::Domain;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A collection of simulated machines around one shared link and one
+/// naming domain.
+#[derive(Clone)]
+pub struct World {
+    fabric: Fabric,
+    naming: NameService,
+}
+
+impl World {
+    /// A world whose machines all share one link of `spec` — the paper's
+    /// configuration (one ATM circuit between the Onyx and the Power
+    /// Challenge).
+    pub fn new(spec: LinkSpec) -> World {
+        World {
+            fabric: Fabric::shared_link(spec),
+            naming: NameService::new(),
+        }
+    }
+
+    /// The underlying network fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The shared naming domain.
+    pub fn naming(&self) -> &NameService {
+        &self.naming
+    }
+
+    /// Spawn a machine named `name` running `nthreads` computing
+    /// threads, each executing `f` with its own [`OrbCtx`]. Default ORB
+    /// options.
+    pub fn spawn_machine<T, F>(&self, name: &str, nthreads: usize, f: F) -> MachineHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(OrbCtx) -> T + Send + Sync + 'static,
+    {
+        self.spawn_machine_with(name, nthreads, OrbOptions::default(), f)
+    }
+
+    /// Spawn with explicit ORB options (wire endianness, data
+    /// translation, resolve timeout).
+    pub fn spawn_machine_with<T, F>(
+        &self,
+        name: &str,
+        nthreads: usize,
+        opts: OrbOptions,
+        f: F,
+    ) -> MachineHandle<T>
+    where
+        T: Send + 'static,
+        F: Fn(OrbCtx) -> T + Send + Sync + 'static,
+    {
+        let host = self.fabric.add_host(name);
+        let naming = self.naming.clone();
+        let f = Arc::new(f);
+        let name = name.to_string();
+        let handles: Vec<JoinHandle<T>> = Domain::new(nthreads)
+            .into_iter()
+            .map(|ep| {
+                let host = host.clone();
+                let naming = naming.clone();
+                let opts = opts.clone();
+                let f = f.clone();
+                let tname = format!("{}-t{}", name, ep.rank());
+                std::thread::Builder::new()
+                    .name(tname)
+                    .spawn(move || {
+                        let ctx = OrbCtx::init(ep, host, naming, opts)
+                            .expect("ORB initialization failed");
+                        f(ctx)
+                    })
+                    .expect("spawn machine thread")
+            })
+            .collect();
+        MachineHandle { handles }
+    }
+
+    /// Convenience for the ubiquitous client/server pair: spawn a server
+    /// machine and a client machine, wait for both, and return
+    /// `(server_results, client_results)`.
+    pub fn run_pair<S, C, TS, TC>(
+        &self,
+        server_threads: usize,
+        client_threads: usize,
+        server_fn: S,
+        client_fn: C,
+    ) -> (Vec<TS>, Vec<TC>)
+    where
+        TS: Send + 'static,
+        TC: Send + 'static,
+        S: Fn(OrbCtx) -> TS + Send + Sync + 'static,
+        C: Fn(OrbCtx) -> TC + Send + Sync + 'static,
+    {
+        let server = self.spawn_machine("server", server_threads, server_fn);
+        let client = self.spawn_machine("client", client_threads, client_fn);
+        (server.join(), client.join())
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("fabric", &self.fabric)
+            .field("naming", &self.naming)
+            .finish()
+    }
+}
+
+/// Join handle for a spawned machine.
+pub struct MachineHandle<T> {
+    handles: Vec<JoinHandle<T>>,
+}
+
+impl<T> MachineHandle<T> {
+    /// Wait for every computing thread and collect their results in
+    /// thread order. Panics if any thread panicked.
+    pub fn join(self) -> Vec<T> {
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("machine thread panicked"))
+            .collect()
+    }
+
+    /// Wait, converting each thread's result (convenience for
+    /// `PardisResult` bodies).
+    pub fn join_results(self) -> PardisResult<Vec<T>> {
+        Ok(self.join())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_join() {
+        let world = World::new(LinkSpec::unlimited());
+        let m = world.spawn_machine("m", 4, |ctx| (ctx.rank(), ctx.nthreads()));
+        let r = m.join();
+        assert_eq!(r, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn machines_get_distinct_hosts() {
+        let world = World::new(LinkSpec::unlimited());
+        let a = world.spawn_machine("a", 1, |ctx| ctx.host().id());
+        let b = world.spawn_machine("b", 1, |ctx| ctx.host().id());
+        assert_ne!(a.join()[0], b.join()[0]);
+        assert!(world.fabric().host_by_name("a").is_some());
+    }
+
+    #[test]
+    fn orb_ctx_ports_are_consistent() {
+        let world = World::new(LinkSpec::unlimited());
+        let m = world.spawn_machine("m", 3, |ctx| {
+            // All threads agree on the request port and the data port
+            // table lists this thread's own port at its rank.
+            (ctx.request_port_id, ctx.data_port_ids.clone(), ctx.data_port.port(), ctx.rank())
+        });
+        let r = m.join();
+        let req_port = r[0].0;
+        let table = r[0].1.clone();
+        for (rp, tab, own, rank) in r {
+            assert_eq!(rp, req_port);
+            assert_eq!(tab, table);
+            assert_eq!(tab[rank], own);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Object and ORB lifecycle: registration, unregistration, re-binding,
+//! resolve timeouts, bounded serve loops, and link accounting.
+
+use pardis_cdr::Decode;
+use pardis_core::prelude::*;
+use pardis_core::OrbOptions;
+use std::time::Duration;
+
+struct Echo;
+impl Servant for Echo {
+    fn type_id(&self) -> &str {
+        "IDL:echo:1.0"
+    }
+    fn dispatch(&mut self, req: &mut ServerRequest<'_>) -> PardisResult<()> {
+        let x = i32::decode(&mut req.args()).map_err(PardisError::from)?;
+        req.set_result(|w| {
+            w.put_i32(x + 1);
+            Ok(())
+        })
+    }
+}
+
+fn echo_spec(ctx: &OrbCtx, x: i32) -> RequestSpec {
+    let mut spec = RequestSpec::simple("inc");
+    let mut w = pardis_cdr::CdrWriter::new(ctx.endian());
+    w.put_i32(x);
+    spec.nondist_body = w.into_shared();
+    spec
+}
+
+fn decode_i32(ctx: &OrbCtx, reply: &pardis_core::ReplyResult) -> i32 {
+    let mut r = pardis_cdr::CdrReader::new(&reply.nondist_body, ctx.endian());
+    i32::decode(&mut r).unwrap()
+}
+
+#[test]
+fn serve_n_bounds_the_loop() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("s", 2, |ctx| {
+        ctx.register("echo", Box::new(Echo), vec![]).unwrap();
+        // Serve exactly three requests, then return.
+        ctx.serve_n(3).unwrap()
+    });
+    let client = world.spawn_machine("c", 1, |ctx| {
+        let proxy = ctx.bind("echo", None, None).unwrap();
+        for i in 0..3 {
+            let reply = proxy.invoke(&ctx, echo_spec(&ctx, i)).unwrap();
+            assert_eq!(decode_i32(&ctx, &reply), i + 1);
+        }
+    });
+    client.join();
+    assert_eq!(server.join(), vec![3, 3]);
+}
+
+#[test]
+fn serve_n_stops_early_on_shutdown() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("s", 1, |ctx| {
+        ctx.register("echo", Box::new(Echo), vec![]).unwrap();
+        ctx.serve_n(100).unwrap()
+    });
+    let client = world.spawn_machine("c", 1, |ctx| {
+        let proxy = ctx.bind("echo", None, None).unwrap();
+        let reply = proxy.invoke(&ctx, echo_spec(&ctx, 41)).unwrap();
+        assert_eq!(decode_i32(&ctx, &reply), 42);
+        ctx.send_shutdown(proxy.objref()).unwrap();
+    });
+    client.join();
+    assert_eq!(server.join(), vec![1]);
+}
+
+#[test]
+fn unregister_then_rebind_times_out() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("s", 1, |ctx| {
+        ctx.register("echo", Box::new(Echo), vec![]).unwrap();
+        ctx.serve_n(1).unwrap();
+        ctx.unregister("echo");
+        // Park until the naming probe below finishes.
+        ctx.serve_forever().unwrap();
+    });
+    let opts = OrbOptions {
+        resolve_timeout: Duration::from_millis(80),
+        ..Default::default()
+    };
+    let client = world.spawn_machine_with("c", 1, opts, |ctx| {
+        let proxy = ctx.bind("echo", None, None).unwrap();
+        let request_port = proxy.objref().request_port;
+        let host = proxy.objref().host;
+        let reply = proxy.invoke(&ctx, echo_spec(&ctx, 1)).unwrap();
+        assert_eq!(decode_i32(&ctx, &reply), 2);
+        // Wait for the unregistration to land, then binding fails.
+        loop {
+            match ctx.bind("echo", None, None) {
+                Err(PardisError::ObjectNotFound { .. }) => break,
+                Ok(_) => std::thread::yield_now(),
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        // Shut the parked server down via its (still open) request port.
+        ctx.send_shutdown(&pardis_net::ObjectRef {
+            name: "echo".into(),
+            type_id: "IDL:echo:1.0".into(),
+            host,
+            request_port,
+            data_ports: vec![],
+            nthreads: 1,
+            distributions: vec![],
+        })
+        .unwrap();
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn resolve_timeout_is_configurable() {
+    let world = World::new(LinkSpec::unlimited());
+    let opts = OrbOptions {
+        resolve_timeout: Duration::from_millis(50),
+        ..Default::default()
+    };
+    let client = world.spawn_machine_with("c", 1, opts, |ctx| {
+        let t0 = std::time::Instant::now();
+        let err = ctx.bind("nobody-home", None, None).unwrap_err();
+        assert!(matches!(err, PardisError::ObjectNotFound { .. }));
+        let e = t0.elapsed();
+        assert!(e >= Duration::from_millis(50) && e < Duration::from_secs(5));
+    });
+    client.join();
+}
+
+#[test]
+fn bind_to_wrong_host_fails() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("right", 1, |ctx| {
+        ctx.register("echo", Box::new(Echo), vec![]).unwrap();
+        ctx.serve_forever().unwrap();
+    });
+    let opts = OrbOptions {
+        resolve_timeout: Duration::from_millis(60),
+        ..Default::default()
+    };
+    let client = world.spawn_machine_with("other", 1, opts, |ctx| {
+        // The object exists, but not on host "other".
+        let err = ctx.bind("echo", Some("other"), None).unwrap_err();
+        assert!(matches!(err, PardisError::ObjectNotFound { .. }));
+        // Unknown host name fails immediately.
+        let err = ctx.bind("echo", Some("atlantis"), None).unwrap_err();
+        assert!(matches!(err, PardisError::ObjectNotFound { .. }));
+        // Correct host works.
+        let proxy = ctx.bind("echo", Some("right"), None).unwrap();
+        ctx.send_shutdown(proxy.objref()).unwrap();
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn two_objects_one_machine() {
+    struct Tagged(i32);
+    impl Servant for Tagged {
+        fn type_id(&self) -> &str {
+            "IDL:tagged:1.0"
+        }
+        fn dispatch(&mut self, req: &mut ServerRequest<'_>) -> PardisResult<()> {
+            let tag = self.0;
+            req.set_result(move |w| {
+                w.put_i32(tag);
+                Ok(())
+            })
+        }
+    }
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("s", 2, |ctx| {
+        ctx.register("alpha", Box::new(Tagged(1)), vec![]).unwrap();
+        ctx.register("beta", Box::new(Tagged(2)), vec![]).unwrap();
+        ctx.serve_forever().unwrap();
+    });
+    let client = world.spawn_machine("c", 1, |ctx| {
+        let a = ctx.bind("alpha", None, None).unwrap();
+        let b = ctx.bind("beta", None, None).unwrap();
+        // Both objects share the machine's request port but dispatch to
+        // their own servants.
+        assert_eq!(a.objref().request_port, b.objref().request_port);
+        let ra = a.invoke(&ctx, RequestSpec::simple("id")).unwrap();
+        let rb = b.invoke(&ctx, RequestSpec::simple("id")).unwrap();
+        assert_eq!(decode_i32(&ctx, &ra), 1);
+        assert_eq!(decode_i32(&ctx, &rb), 2);
+        ctx.send_shutdown(a.objref()).unwrap();
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn link_stats_account_for_traffic() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("s", 1, |ctx| {
+        ctx.register("echo", Box::new(Echo), vec![]).unwrap();
+        ctx.serve_forever().unwrap();
+    });
+    let client = world.spawn_machine("c", 1, |ctx| {
+        let proxy = ctx.bind("echo", None, None).unwrap();
+        for i in 0..4 {
+            proxy.invoke(&ctx, echo_spec(&ctx, i)).unwrap();
+        }
+        ctx.send_shutdown(proxy.objref()).unwrap();
+    });
+    client.join();
+    server.join();
+    let stats = world.fabric().default_link().unwrap().stats();
+    // 4 requests + 4 replies + 1 shutdown = 9 messages at least.
+    assert!(stats.messages >= 9, "messages = {}", stats.messages);
+    assert!(stats.payload_bytes > 0);
+    assert!(stats.frames >= stats.messages);
+}

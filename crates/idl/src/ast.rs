@@ -1,0 +1,220 @@
+//! Abstract syntax for the IDL subset.
+
+use crate::diag::Pos;
+
+/// A whole specification (one `.idl` file).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// Top-level definitions in source order.
+    pub defs: Vec<Def>,
+}
+
+/// A definition at file or module scope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Def {
+    Module(Module),
+    Interface(Interface),
+    Typedef(Typedef),
+    Struct(StructDef),
+    Enum(EnumDef),
+    Const(ConstDef),
+    Exception(ExceptDef),
+}
+
+impl Def {
+    /// The defined name.
+    pub fn name(&self) -> &str {
+        match self {
+            Def::Module(m) => &m.name,
+            Def::Interface(i) => &i.name,
+            Def::Typedef(t) => &t.name,
+            Def::Struct(s) => &s.name,
+            Def::Enum(e) => &e.name,
+            Def::Const(c) => &c.name,
+            Def::Exception(e) => &e.name,
+        }
+    }
+
+    /// Where the definition begins.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Def::Module(m) => m.pos,
+            Def::Interface(i) => i.pos,
+            Def::Typedef(t) => t.pos,
+            Def::Struct(s) => s.pos,
+            Def::Enum(e) => e.pos,
+            Def::Const(c) => c.pos,
+            Def::Exception(e) => e.pos,
+        }
+    }
+}
+
+/// `module name { ... };`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub defs: Vec<Def>,
+    pub pos: Pos,
+}
+
+/// `interface name [: base, ...] { ... };`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interface {
+    pub name: String,
+    pub bases: Vec<String>,
+    pub ops: Vec<OpDecl>,
+    pub attrs: Vec<AttrDecl>,
+    pub pos: Pos,
+}
+
+/// One operation declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpDecl {
+    pub name: String,
+    /// True for `oneway` operations (no reply).
+    pub oneway: bool,
+    pub ret: Type,
+    pub params: Vec<Param>,
+    /// Names of exceptions listed in `raises(...)`.
+    pub raises: Vec<String>,
+    pub pos: Pos,
+}
+
+/// One operation parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub dir: ParamDir,
+    pub ty: Type,
+    pub name: String,
+    pub pos: Pos,
+}
+
+/// Parameter passing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamDir {
+    In,
+    Out,
+    InOut,
+}
+
+/// `readonly attribute T name;` / `attribute T name;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrDecl {
+    pub readonly: bool,
+    pub ty: Type,
+    pub name: String,
+    pub pos: Pos,
+}
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    Void,
+    Boolean,
+    Char,
+    Octet,
+    Short,
+    UShort,
+    Long,
+    ULong,
+    LongLong,
+    ULongLong,
+    Float,
+    Double,
+    String_,
+    /// `sequence<T[, bound]>`
+    Sequence(Box<Type>, Option<u64>),
+    /// `dsequence<T[, bound][, dist]>` — the PARDIS distributed sequence.
+    DSequence(Box<Type>, Option<u64>, Option<DistAnnot>),
+    /// A (possibly scoped) reference to a user-defined type.
+    Named(String),
+}
+
+/// Distribution annotation inside a `dsequence` type: the paper's
+/// `dsequence<double, 1024, block>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistAnnot {
+    /// Uniform blockwise (also the default when unspecified).
+    Block,
+}
+
+impl Type {
+    /// Whether the type (syntactically) is distributed. Typedef
+    /// indirection is resolved during semantic analysis.
+    pub fn is_dsequence(&self) -> bool {
+        matches!(self, Type::DSequence(..))
+    }
+}
+
+/// `typedef T name;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Typedef {
+    pub name: String,
+    pub ty: Type,
+    pub pos: Pos,
+}
+
+/// `struct name { T member; ... };`
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    pub name: String,
+    pub members: Vec<(String, Type, Pos)>,
+    pub pos: Pos,
+}
+
+/// `enum name { A, B, ... };`
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    pub name: String,
+    pub variants: Vec<String>,
+    pub pos: Pos,
+}
+
+/// `const T name = literal;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    pub name: String,
+    pub ty: Type,
+    pub value: Literal,
+    pub pos: Pos,
+}
+
+/// `exception name { T member; ... };`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptDef {
+    pub name: String,
+    pub members: Vec<(String, Type, Pos)>,
+    pub pos: Pos,
+}
+
+/// A literal constant value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_name_and_pos() {
+        let d = Def::Typedef(Typedef {
+            name: "diff_array".into(),
+            ty: Type::DSequence(Box::new(Type::Double), Some(1024), None),
+            pos: Pos::new(2, 1),
+        });
+        assert_eq!(d.name(), "diff_array");
+        assert_eq!(d.pos(), Pos::new(2, 1));
+    }
+
+    #[test]
+    fn dsequence_detection() {
+        assert!(Type::DSequence(Box::new(Type::Double), None, None).is_dsequence());
+        assert!(!Type::Sequence(Box::new(Type::Double), None).is_dsequence());
+        assert!(!Type::Named("diff_array".into()).is_dsequence());
+    }
+}

@@ -1,0 +1,116 @@
+//! `pardis-idlc` — the PARDIS IDL compiler command-line driver.
+//!
+//! ```text
+//! pardis-idlc input.idl              # generated Rust to stdout
+//! pardis-idlc input.idl -o out.rs    # ... to a file
+//! pardis-idlc --check input.idl      # parse + semantic check only
+//! pardis-idlc --emit-idl input.idl   # normalized/pretty-printed IDL
+//! pardis-idlc --emit-doc input.idl   # Markdown interface reference
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut check_only = false;
+    let mut emit_idl = false;
+    let mut emit_doc = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("pardis-idlc: -o needs a file name");
+                    return ExitCode::from(2);
+                }
+                output = Some(args[i].clone());
+            }
+            "--check" => check_only = true,
+            "--emit-idl" => emit_idl = true,
+            "--emit-doc" => emit_doc = true,
+            "-h" | "--help" => {
+                println!("usage: pardis-idlc [--check|--emit-idl|--emit-doc] [-o OUT.rs] INPUT.idl");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("pardis-idlc: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    eprintln!("pardis-idlc: more than one input file");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    let input = match input {
+        Some(f) => f,
+        None => {
+            eprintln!("usage: pardis-idlc [--check|--emit-idl|--emit-doc] [-o OUT.rs] INPUT.idl");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pardis-idlc: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if check_only {
+        return match pardis_idl::parse_and_check(&source, &input) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(diags) => {
+                eprintln!("{diags}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if emit_idl || emit_doc {
+        return match pardis_idl::parse_and_check(&source, &input) {
+            Ok(model) => {
+                if emit_idl {
+                    print!("{}", pardis_idl::pretty::print_spec(&model.spec));
+                }
+                if emit_doc {
+                    print!("{}", pardis_idl::codegen::doc::generate(&model, &input));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(diags) => {
+                eprintln!("{diags}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match pardis_idl::compile_to_rust(&source, &input) {
+        Ok(code) => match output {
+            None => {
+                print!("{code}");
+                ExitCode::SUCCESS
+            }
+            Some(path) => match std::fs::File::create(&path)
+                .and_then(|mut f| f.write_all(code.as_bytes()))
+            {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("pardis-idlc: cannot write {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+        },
+        Err(diags) => {
+            eprintln!("{diags}");
+            ExitCode::FAILURE
+        }
+    }
+}

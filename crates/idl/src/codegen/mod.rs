@@ -1,0 +1,10 @@
+//! Code generators: [`rust`] (stubs and skeletons over `pardis-core`)
+//! and [`doc`] (Markdown interface reference).
+//!
+//! The paper's compiler targeted C++ packages (HPC++, and direct
+//! run-time-system mappings); the architecture leaves room for more
+//! backends, which is why generation is a separate stage over the
+//! checked [`crate::sema::Model`].
+
+pub mod doc;
+pub mod rust;

@@ -1,0 +1,129 @@
+//! Compiler diagnostics with source locations.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Construct a position.
+    pub fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One error or warning produced by the compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the diagnostic refers to.
+    pub file: String,
+    /// Where in the file.
+    pub pos: Pos,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(file: &str, pos: Pos, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: error: {}", self.file, self.pos, self.message)
+    }
+}
+
+/// An ordered collection of diagnostics (never empty when returned as an
+/// `Err`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    /// The individual diagnostics, in source order.
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Whether any diagnostics were recorded.
+    pub fn has_errors(&self) -> bool {
+        !self.items.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Wrap a single diagnostic.
+    pub fn single(d: Diagnostic) -> Diagnostics {
+        Diagnostics { items: vec![d] }
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_location() {
+        let d = Diagnostic::new("f.idl", Pos::new(3, 7), "unexpected token");
+        assert_eq!(d.to_string(), "f.idl:3:7: error: unexpected token");
+    }
+
+    #[test]
+    fn collection_accumulates() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::new("f", Pos::new(1, 1), "a"));
+        ds.push(Diagnostic::new("f", Pos::new(2, 1), "b"));
+        assert_eq!(ds.len(), 2);
+        let text = ds.to_string();
+        assert!(text.contains("a") && text.contains("b"));
+    }
+}

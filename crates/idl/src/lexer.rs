@@ -1,0 +1,366 @@
+//! Hand-rolled lexer for the IDL subset.
+//!
+//! Handles `//` and `/* */` comments, decimal / hex / octal integer
+//! literals, floating literals, string literals, and the punctuation the
+//! grammar needs. Every token carries a source position for
+//! diagnostics.
+
+use crate::diag::{Diagnostic, Diagnostics, Pos};
+use crate::token::{Kw, Tok, Token};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    file: &'a str,
+}
+
+/// Tokenize `source`; `file` names it in diagnostics.
+pub fn lex(source: &str, file: &str) -> Result<Vec<Token>, Diagnostics> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        file,
+    };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let pos = Pos::new(lx.line, lx.col);
+        if lx.eof() {
+            out.push(Token { tok: Tok::Eof, pos });
+            return Ok(out);
+        }
+        let tok = lx.next_token(pos)?;
+        out.push(Token { tok, pos });
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn eof(&self) -> bool {
+        self.i >= self.src.len()
+    }
+
+    fn peek(&self) -> u8 {
+        if self.eof() {
+            0
+        } else {
+            self.src[self.i]
+        }
+    }
+
+    fn peek2(&self) -> u8 {
+        if self.i + 1 >= self.src.len() {
+            0
+        } else {
+            self.src[self.i + 1]
+        }
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.src[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn err(&self, pos: Pos, msg: impl Into<String>) -> Diagnostics {
+        Diagnostics::single(Diagnostic::new(self.file, pos, msg))
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostics> {
+        loop {
+            if self.eof() {
+                return Ok(());
+            }
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while !self.eof() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = Pos::new(self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.eof() {
+                            return Err(self.err(start, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'#' => {
+                    // Preprocessor-style lines (#include, #pragma) are
+                    // skipped: PARDIS IDL files may carry them but this
+                    // compiler treats each file as self-contained.
+                    while !self.eof() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self, pos: Pos) -> Result<Tok, Diagnostics> {
+        let c = self.peek();
+        match c {
+            b'{' => {
+                self.bump();
+                Ok(Tok::LBrace)
+            }
+            b'}' => {
+                self.bump();
+                Ok(Tok::RBrace)
+            }
+            b'(' => {
+                self.bump();
+                Ok(Tok::LParen)
+            }
+            b')' => {
+                self.bump();
+                Ok(Tok::RParen)
+            }
+            b'<' => {
+                self.bump();
+                Ok(Tok::LAngle)
+            }
+            b'>' => {
+                self.bump();
+                Ok(Tok::RAngle)
+            }
+            b';' => {
+                self.bump();
+                Ok(Tok::Semi)
+            }
+            b',' => {
+                self.bump();
+                Ok(Tok::Comma)
+            }
+            b'=' => {
+                self.bump();
+                Ok(Tok::Eq)
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == b':' {
+                    self.bump();
+                    Ok(Tok::ColonColon)
+                } else {
+                    Ok(Tok::Colon)
+                }
+            }
+            b'"' => self.string_lit(pos),
+            b'0'..=b'9' => self.number(pos),
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut s = String::new();
+                while !self.eof()
+                    && (self.peek() == b'_' || self.peek().is_ascii_alphanumeric())
+                {
+                    s.push(self.bump() as char);
+                }
+                Ok(match Kw::from_str(&s) {
+                    Some(k) => Tok::Keyword(k),
+                    None => Tok::Ident(s),
+                })
+            }
+            other => Err(self.err(pos, format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn string_lit(&mut self, pos: Pos) -> Result<Tok, Diagnostics> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            if self.eof() {
+                return Err(self.err(pos, "unterminated string literal"));
+            }
+            match self.bump() {
+                b'"' => return Ok(Tok::StrLit(s)),
+                b'\\' => {
+                    if self.eof() {
+                        return Err(self.err(pos, "unterminated string literal"));
+                    }
+                    match self.bump() {
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'\\' => s.push('\\'),
+                        b'"' => s.push('"'),
+                        other => {
+                            return Err(self.err(
+                                pos,
+                                format!("unknown escape `\\{}`", other as char),
+                            ))
+                        }
+                    }
+                }
+                other => s.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, Diagnostics> {
+        let mut text = String::new();
+        // Hex?
+        if self.peek() == b'0' && (self.peek2() == b'x' || self.peek2() == b'X') {
+            self.bump();
+            self.bump();
+            while !self.eof() && self.peek().is_ascii_hexdigit() {
+                text.push(self.bump() as char);
+            }
+            return u64::from_str_radix(&text, 16)
+                .map(Tok::IntLit)
+                .map_err(|_| self.err(pos, "invalid hexadecimal literal"));
+        }
+        let mut is_float = false;
+        while !self.eof() && self.peek().is_ascii_digit() {
+            text.push(self.bump() as char);
+        }
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            text.push(self.bump() as char);
+            while !self.eof() && self.peek().is_ascii_digit() {
+                text.push(self.bump() as char);
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            is_float = true;
+            text.push(self.bump() as char);
+            if self.peek() == b'+' || self.peek() == b'-' {
+                text.push(self.bump() as char);
+            }
+            while !self.eof() && self.peek().is_ascii_digit() {
+                text.push(self.bump() as char);
+            }
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::FloatLit)
+                .map_err(|_| self.err(pos, "invalid float literal"))
+        } else if text.len() > 1 && text.starts_with('0') {
+            // Octal, as in C.
+            u64::from_str_radix(&text[1..], 8)
+                .map(Tok::IntLit)
+                .map_err(|_| self.err(pos, "invalid octal literal"))
+        } else {
+            text.parse::<u64>()
+                .map(Tok::IntLit)
+                .map_err(|_| self.err(pos, "invalid integer literal"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src, "t.idl")
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn paper_typedef_lexes() {
+        let ts = toks("typedef dsequence<double, 1024> diff_array;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Keyword(Kw::Typedef),
+                Tok::Keyword(Kw::DSequence),
+                Tok::LAngle,
+                Tok::Keyword(Kw::Double),
+                Tok::Comma,
+                Tok::IntLit(1024),
+                Tok::RAngle,
+                Tok::Ident("diff_array".into()),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = toks("// line\n/* block\nmultiline */ interface /*x*/ y;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Keyword(Kw::Interface),
+                Tok::Ident("y".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn preprocessor_lines_skipped() {
+        let ts = toks("#include \"x.idl\"\nmodule m {};");
+        assert_eq!(ts[0], Tok::Keyword(Kw::Module));
+    }
+
+    #[test]
+    fn numbers_dec_hex_oct_float() {
+        assert_eq!(toks("42")[0], Tok::IntLit(42));
+        assert_eq!(toks("0x1F")[0], Tok::IntLit(31));
+        assert_eq!(toks("010")[0], Tok::IntLit(8));
+        assert_eq!(toks("2.5")[0], Tok::FloatLit(2.5));
+        assert_eq!(toks("1e3")[0], Tok::FloatLit(1000.0));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""a\nb\"c""#)[0],
+            Tok::StrLit("a\nb\"c".to_string())
+        );
+    }
+
+    #[test]
+    fn scoped_names() {
+        let ts = toks("a::b");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::ColonColon,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("interface\n  x;", "t.idl").unwrap();
+        assert_eq!(tokens[0].pos, Pos::new(1, 1));
+        assert_eq!(tokens[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = lex("interface $", "t.idl").unwrap_err();
+        assert!(err.to_string().contains("t.idl:1:11"));
+        assert!(lex("/* unterminated", "t.idl").is_err());
+        assert!(lex("\"unterminated", "t.idl").is_err());
+    }
+}

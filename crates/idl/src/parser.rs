@@ -1,0 +1,644 @@
+//! Recursive-descent parser for the IDL subset.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics, Pos};
+use crate::token::{Kw, Tok, Token};
+
+struct Parser<'a> {
+    toks: Vec<Token>,
+    i: usize,
+    file: &'a str,
+}
+
+/// Parse a token stream into a [`Spec`].
+pub fn parse(toks: Vec<Token>, file: &str) -> Result<Spec, Diagnostics> {
+    let mut p = Parser { toks, i: 0, file };
+    let mut defs = Vec::new();
+    while !p.at(&Tok::Eof) {
+        defs.push(p.definition()?);
+    }
+    Ok(Spec { defs })
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn at_kw(&self, k: Kw) -> bool {
+        matches!(self.peek(), Tok::Keyword(kk) if *kk == k)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, Diagnostics> {
+        Err(Diagnostics::single(Diagnostic::new(
+            self.file,
+            self.pos(),
+            msg,
+        )))
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), Diagnostics> {
+        if self.at(&t) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Kw) -> Result<(), Diagnostics> {
+        if self.at_kw(k) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected keyword `{k:?}`, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Diagnostics> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// `a` or `a::b::c`.
+    fn scoped_name(&mut self) -> Result<String, Diagnostics> {
+        let mut s = self.ident()?;
+        while self.at(&Tok::ColonColon) {
+            self.bump();
+            s.push_str("::");
+            s.push_str(&self.ident()?);
+        }
+        Ok(s)
+    }
+
+    fn definition(&mut self) -> Result<Def, Diagnostics> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Keyword(Kw::Module) => self.module(pos),
+            Tok::Keyword(Kw::Interface) => self.interface(pos),
+            Tok::Keyword(Kw::Typedef) => self.typedef(pos),
+            Tok::Keyword(Kw::Struct) => self.struct_def(pos),
+            Tok::Keyword(Kw::Enum) => self.enum_def(pos),
+            Tok::Keyword(Kw::Const) => self.const_def(pos),
+            Tok::Keyword(Kw::Exception) => self.except_def(pos),
+            other => self.err(format!("expected a definition, found {other}")),
+        }
+    }
+
+    fn module(&mut self, pos: Pos) -> Result<Def, Diagnostics> {
+        self.expect_kw(Kw::Module)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut defs = Vec::new();
+        while !self.at(&Tok::RBrace) {
+            if self.at(&Tok::Eof) {
+                return self.err("unterminated module body");
+            }
+            defs.push(self.definition()?);
+        }
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Semi)?;
+        Ok(Def::Module(Module { name, defs, pos }))
+    }
+
+    fn interface(&mut self, pos: Pos) -> Result<Def, Diagnostics> {
+        self.expect_kw(Kw::Interface)?;
+        let name = self.ident()?;
+        let mut bases = Vec::new();
+        if self.at(&Tok::Colon) {
+            self.bump();
+            bases.push(self.scoped_name()?);
+            while self.at(&Tok::Comma) {
+                self.bump();
+                bases.push(self.scoped_name()?);
+            }
+        }
+        // Forward declaration: `interface x;`
+        if self.at(&Tok::Semi) {
+            self.bump();
+            return Ok(Def::Interface(Interface {
+                name,
+                bases,
+                ops: vec![],
+                attrs: vec![],
+                pos,
+            }));
+        }
+        self.expect(Tok::LBrace)?;
+        let mut ops = Vec::new();
+        let mut attrs = Vec::new();
+        while !self.at(&Tok::RBrace) {
+            if self.at(&Tok::Eof) {
+                return self.err("unterminated interface body");
+            }
+            let mpos = self.pos();
+            if self.at_kw(Kw::Readonly) || self.at_kw(Kw::Attribute) {
+                attrs.push(self.attribute(mpos)?);
+            } else {
+                ops.push(self.operation(mpos)?);
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Semi)?;
+        Ok(Def::Interface(Interface {
+            name,
+            bases,
+            ops,
+            attrs,
+            pos,
+        }))
+    }
+
+    fn attribute(&mut self, pos: Pos) -> Result<AttrDecl, Diagnostics> {
+        let readonly = if self.at_kw(Kw::Readonly) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        self.expect_kw(Kw::Attribute)?;
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        self.expect(Tok::Semi)?;
+        Ok(AttrDecl {
+            readonly,
+            ty,
+            name,
+            pos,
+        })
+    }
+
+    fn operation(&mut self, pos: Pos) -> Result<OpDecl, Diagnostics> {
+        let oneway = if self.at_kw(Kw::Oneway) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let ret = self.type_spec()?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&Tok::RParen) {
+            params.push(self.param()?);
+            while self.at(&Tok::Comma) {
+                self.bump();
+                params.push(self.param()?);
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let mut raises = Vec::new();
+        if self.at_kw(Kw::Raises) {
+            self.bump();
+            self.expect(Tok::LParen)?;
+            raises.push(self.scoped_name()?);
+            while self.at(&Tok::Comma) {
+                self.bump();
+                raises.push(self.scoped_name()?);
+            }
+            self.expect(Tok::RParen)?;
+        }
+        self.expect(Tok::Semi)?;
+        Ok(OpDecl {
+            name,
+            oneway,
+            ret,
+            params,
+            raises,
+            pos,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, Diagnostics> {
+        let pos = self.pos();
+        let dir = if self.at_kw(Kw::In) {
+            self.bump();
+            ParamDir::In
+        } else if self.at_kw(Kw::Out) {
+            self.bump();
+            ParamDir::Out
+        } else if self.at_kw(Kw::InOut) {
+            self.bump();
+            ParamDir::InOut
+        } else {
+            return self.err(format!(
+                "expected parameter direction (`in`, `out`, `inout`), found {}",
+                self.peek()
+            ));
+        };
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        Ok(Param { dir, ty, name, pos })
+    }
+
+    fn typedef(&mut self, pos: Pos) -> Result<Def, Diagnostics> {
+        self.expect_kw(Kw::Typedef)?;
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        self.expect(Tok::Semi)?;
+        Ok(Def::Typedef(Typedef { name, ty, pos }))
+    }
+
+    fn struct_def(&mut self, pos: Pos) -> Result<Def, Diagnostics> {
+        self.expect_kw(Kw::Struct)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let members = self.members()?;
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Semi)?;
+        Ok(Def::Struct(StructDef { name, members, pos }))
+    }
+
+    fn except_def(&mut self, pos: Pos) -> Result<Def, Diagnostics> {
+        self.expect_kw(Kw::Exception)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let members = self.members()?;
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Semi)?;
+        Ok(Def::Exception(ExceptDef { name, members, pos }))
+    }
+
+    fn members(&mut self) -> Result<Vec<(String, Type, Pos)>, Diagnostics> {
+        let mut members = Vec::new();
+        while !self.at(&Tok::RBrace) {
+            if self.at(&Tok::Eof) {
+                return self.err("unterminated member list");
+            }
+            let mpos = self.pos();
+            let ty = self.type_spec()?;
+            let mname = self.ident()?;
+            self.expect(Tok::Semi)?;
+            members.push((mname, ty, mpos));
+        }
+        Ok(members)
+    }
+
+    fn enum_def(&mut self, pos: Pos) -> Result<Def, Diagnostics> {
+        self.expect_kw(Kw::Enum)?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut variants = vec![self.ident()?];
+        while self.at(&Tok::Comma) {
+            self.bump();
+            if self.at(&Tok::RBrace) {
+                break; // trailing comma
+            }
+            variants.push(self.ident()?);
+        }
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Semi)?;
+        Ok(Def::Enum(EnumDef {
+            name,
+            variants,
+            pos,
+        }))
+    }
+
+    fn const_def(&mut self, pos: Pos) -> Result<Def, Diagnostics> {
+        self.expect_kw(Kw::Const)?;
+        let ty = self.type_spec()?;
+        let name = self.ident()?;
+        self.expect(Tok::Eq)?;
+        let value = match self.peek().clone() {
+            Tok::IntLit(v) => {
+                self.bump();
+                Literal::Int(v)
+            }
+            Tok::FloatLit(v) => {
+                self.bump();
+                Literal::Float(v)
+            }
+            Tok::StrLit(s) => {
+                self.bump();
+                Literal::Str(s)
+            }
+            Tok::Keyword(Kw::True_) => {
+                self.bump();
+                Literal::Bool(true)
+            }
+            Tok::Keyword(Kw::False_) => {
+                self.bump();
+                Literal::Bool(false)
+            }
+            other => return self.err(format!("expected a literal, found {other}")),
+        };
+        self.expect(Tok::Semi)?;
+        Ok(Def::Const(ConstDef {
+            name,
+            ty,
+            value,
+            pos,
+        }))
+    }
+
+    fn type_spec(&mut self) -> Result<Type, Diagnostics> {
+        match self.peek().clone() {
+            Tok::Keyword(Kw::Void) => {
+                self.bump();
+                Ok(Type::Void)
+            }
+            Tok::Keyword(Kw::Boolean) => {
+                self.bump();
+                Ok(Type::Boolean)
+            }
+            Tok::Keyword(Kw::Char) => {
+                self.bump();
+                Ok(Type::Char)
+            }
+            Tok::Keyword(Kw::Octet) => {
+                self.bump();
+                Ok(Type::Octet)
+            }
+            Tok::Keyword(Kw::Short) => {
+                self.bump();
+                Ok(Type::Short)
+            }
+            Tok::Keyword(Kw::Float) => {
+                self.bump();
+                Ok(Type::Float)
+            }
+            Tok::Keyword(Kw::Double) => {
+                self.bump();
+                Ok(Type::Double)
+            }
+            Tok::Keyword(Kw::String_) => {
+                self.bump();
+                Ok(Type::String_)
+            }
+            Tok::Keyword(Kw::Long) => {
+                self.bump();
+                if self.at_kw(Kw::Long) {
+                    self.bump();
+                    Ok(Type::LongLong)
+                } else {
+                    Ok(Type::Long)
+                }
+            }
+            Tok::Keyword(Kw::Unsigned) => {
+                self.bump();
+                if self.at_kw(Kw::Short) {
+                    self.bump();
+                    Ok(Type::UShort)
+                } else if self.at_kw(Kw::Long) {
+                    self.bump();
+                    if self.at_kw(Kw::Long) {
+                        self.bump();
+                        Ok(Type::ULongLong)
+                    } else {
+                        Ok(Type::ULong)
+                    }
+                } else {
+                    self.err("expected `short` or `long` after `unsigned`")
+                }
+            }
+            Tok::Keyword(Kw::Sequence) => {
+                self.bump();
+                self.expect(Tok::LAngle)?;
+                let elem = self.type_spec()?;
+                let bound = if self.at(&Tok::Comma) {
+                    self.bump();
+                    match self.bump() {
+                        Tok::IntLit(v) => Some(v),
+                        other => {
+                            return self.err(format!("expected sequence bound, found {other}"))
+                        }
+                    }
+                } else {
+                    None
+                };
+                self.expect(Tok::RAngle)?;
+                Ok(Type::Sequence(Box::new(elem), bound))
+            }
+            Tok::Keyword(Kw::DSequence) => {
+                self.bump();
+                self.expect(Tok::LAngle)?;
+                let elem = self.type_spec()?;
+                let mut bound = None;
+                let mut dist = None;
+                while self.at(&Tok::Comma) {
+                    self.bump();
+                    match self.peek().clone() {
+                        Tok::IntLit(v) => {
+                            if bound.is_some() {
+                                return self.err("duplicate dsequence bound");
+                            }
+                            self.bump();
+                            bound = Some(v);
+                        }
+                        Tok::Keyword(Kw::Block) => {
+                            if dist.is_some() {
+                                return self.err("duplicate dsequence distribution");
+                            }
+                            self.bump();
+                            dist = Some(DistAnnot::Block);
+                        }
+                        other => {
+                            return self.err(format!(
+                                "expected dsequence bound or distribution, found {other}"
+                            ))
+                        }
+                    }
+                }
+                self.expect(Tok::RAngle)?;
+                Ok(Type::DSequence(Box::new(elem), bound, dist))
+            }
+            Tok::Ident(_) => Ok(Type::Named(self.scoped_name()?)),
+            other => self.err(format!("expected a type, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Spec, Diagnostics> {
+        parse(lex(src, "t.idl").unwrap(), "t.idl")
+    }
+
+    #[test]
+    fn paper_example_parses() {
+        let spec = parse_src(
+            r#"
+            typedef dsequence<double, 1024> diff_array;
+            interface diff_object {
+                void diffusion(in long timestep, inout diff_array darray);
+            };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.defs.len(), 2);
+        match &spec.defs[0] {
+            Def::Typedef(t) => {
+                assert_eq!(t.name, "diff_array");
+                assert_eq!(
+                    t.ty,
+                    Type::DSequence(Box::new(Type::Double), Some(1024), None)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        match &spec.defs[1] {
+            Def::Interface(i) => {
+                assert_eq!(i.name, "diff_object");
+                assert_eq!(i.ops.len(), 1);
+                let op = &i.ops[0];
+                assert_eq!(op.name, "diffusion");
+                assert_eq!(op.ret, Type::Void);
+                assert_eq!(op.params.len(), 2);
+                assert_eq!(op.params[0].dir, ParamDir::In);
+                assert_eq!(op.params[1].dir, ParamDir::InOut);
+                assert_eq!(op.params[1].ty, Type::Named("diff_array".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn modules_nest() {
+        let spec = parse_src("module a { module b { typedef long x; }; };").unwrap();
+        match &spec.defs[0] {
+            Def::Module(m) => {
+                assert_eq!(m.name, "a");
+                match &m.defs[0] {
+                    Def::Module(b) => assert_eq!(b.defs.len(), 1),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn structs_enums_consts_exceptions() {
+        let spec = parse_src(
+            r#"
+            struct Point { double x; double y; };
+            enum Color { RED, GREEN, BLUE, };
+            const long MAX = 0x10;
+            const double PI = 3.14;
+            const boolean YES = TRUE;
+            exception overflow { long where; };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.defs.len(), 6);
+        match &spec.defs[1] {
+            Def::Enum(e) => assert_eq!(e.variants, vec!["RED", "GREEN", "BLUE"]),
+            other => panic!("{other:?}"),
+        }
+        match &spec.defs[2] {
+            Def::Const(c) => assert_eq!(c.value, Literal::Int(16)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oneway_raises_attributes() {
+        let spec = parse_src(
+            r#"
+            exception failed { };
+            interface monitor {
+                readonly attribute long count;
+                attribute double rate;
+                oneway void report(in string msg);
+                void run(in long n) raises(failed);
+            };
+            "#,
+        )
+        .unwrap();
+        match &spec.defs[1] {
+            Def::Interface(i) => {
+                assert_eq!(i.attrs.len(), 2);
+                assert!(i.attrs[0].readonly);
+                assert!(i.ops[0].oneway);
+                assert_eq!(i.ops[1].raises, vec!["failed"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn interface_inheritance() {
+        let spec = parse_src("interface a {}; interface b : a { void f(); };").unwrap();
+        match &spec.defs[1] {
+            Def::Interface(i) => assert_eq!(i.bases, vec!["a"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsigned_variants() {
+        let spec = parse_src(
+            "interface t { void f(in unsigned short a, in unsigned long b, in unsigned long long c, in long long d); };",
+        )
+        .unwrap();
+        match &spec.defs[0] {
+            Def::Interface(i) => {
+                let tys: Vec<&Type> = i.ops[0].params.iter().map(|p| &p.ty).collect();
+                assert_eq!(
+                    tys,
+                    vec![&Type::UShort, &Type::ULong, &Type::ULongLong, &Type::LongLong]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dsequence_with_distribution_annotation() {
+        let spec = parse_src("typedef dsequence<double, 1024, block> a; typedef dsequence<long> b;")
+            .unwrap();
+        match &spec.defs[0] {
+            Def::Typedef(t) => assert_eq!(
+                t.ty,
+                Type::DSequence(Box::new(Type::Double), Some(1024), Some(DistAnnot::Block))
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_with_positions() {
+        assert!(parse_src("interface {").is_err());
+        assert!(parse_src("typedef dsequence<double diff;").is_err());
+        assert!(parse_src("interface x { void f(long a); };").is_err()); // missing direction
+        let err = parse_src("struct s { double x }").unwrap_err();
+        assert!(err.to_string().contains("t.idl:1"));
+    }
+
+    #[test]
+    fn nested_sequences() {
+        let spec = parse_src("typedef sequence<sequence<octet>> blobs;").unwrap();
+        match &spec.defs[0] {
+            Def::Typedef(t) => assert_eq!(
+                t.ty,
+                Type::Sequence(Box::new(Type::Sequence(Box::new(Type::Octet), None)), None)
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+}

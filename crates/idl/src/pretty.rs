@@ -1,0 +1,296 @@
+//! IDL pretty-printer: render an AST back to canonical IDL text.
+//!
+//! Used by `pardis-idlc --emit-idl` for formatting/normalizing IDL
+//! files, and by the test suite as a parse → print → parse fixpoint
+//! check on the grammar.
+
+use crate::ast::*;
+
+/// Render a whole specification.
+pub fn print_spec(spec: &Spec) -> String {
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+    };
+    for def in &spec.defs {
+        p.def(def);
+    }
+    p.out
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn def(&mut self, def: &Def) {
+        match def {
+            Def::Module(m) => {
+                self.line(&format!("module {} {{", m.name));
+                self.indent += 1;
+                for d in &m.defs {
+                    self.def(d);
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+            Def::Typedef(t) => {
+                self.line(&format!("typedef {} {};", type_str(&t.ty), t.name));
+            }
+            Def::Struct(s) => {
+                self.line(&format!("struct {} {{", s.name));
+                self.indent += 1;
+                for (name, ty, _) in &s.members {
+                    self.line(&format!("{} {};", type_str(ty), name));
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+            Def::Exception(e) => {
+                self.line(&format!("exception {} {{", e.name));
+                self.indent += 1;
+                for (name, ty, _) in &e.members {
+                    self.line(&format!("{} {};", type_str(ty), name));
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+            Def::Enum(e) => {
+                self.line(&format!("enum {} {{ {} }};", e.name, e.variants.join(", ")));
+            }
+            Def::Const(c) => {
+                self.line(&format!(
+                    "const {} {} = {};",
+                    type_str(&c.ty),
+                    c.name,
+                    literal_str(&c.value)
+                ));
+            }
+            Def::Interface(i) => {
+                let bases = if i.bases.is_empty() {
+                    String::new()
+                } else {
+                    format!(" : {}", i.bases.join(", "))
+                };
+                if i.ops.is_empty() && i.attrs.is_empty() && i.bases.is_empty() {
+                    // Could be a forward declaration; print the empty
+                    // body form, which parses back equivalently.
+                    self.line(&format!("interface {} {{", i.name));
+                    self.line("};");
+                    return;
+                }
+                self.line(&format!("interface {}{} {{", i.name, bases));
+                self.indent += 1;
+                for a in &i.attrs {
+                    let ro = if a.readonly { "readonly " } else { "" };
+                    self.line(&format!("{}attribute {} {};", ro, type_str(&a.ty), a.name));
+                }
+                for op in &i.ops {
+                    self.op(op);
+                }
+                self.indent -= 1;
+                self.line("};");
+            }
+        }
+    }
+
+    fn op(&mut self, op: &OpDecl) {
+        let oneway = if op.oneway { "oneway " } else { "" };
+        let params: Vec<String> = op
+            .params
+            .iter()
+            .map(|p| {
+                let dir = match p.dir {
+                    ParamDir::In => "in",
+                    ParamDir::Out => "out",
+                    ParamDir::InOut => "inout",
+                };
+                format!("{dir} {} {}", type_str(&p.ty), p.name)
+            })
+            .collect();
+        let raises = if op.raises.is_empty() {
+            String::new()
+        } else {
+            format!(" raises({})", op.raises.join(", "))
+        };
+        self.line(&format!(
+            "{oneway}{} {}({}){raises};",
+            type_str(&op.ret),
+            op.name,
+            params.join(", ")
+        ));
+    }
+}
+
+/// Render a type expression.
+pub fn type_str(ty: &Type) -> String {
+    match ty {
+        Type::Void => "void".into(),
+        Type::Boolean => "boolean".into(),
+        Type::Char => "char".into(),
+        Type::Octet => "octet".into(),
+        Type::Short => "short".into(),
+        Type::UShort => "unsigned short".into(),
+        Type::Long => "long".into(),
+        Type::ULong => "unsigned long".into(),
+        Type::LongLong => "long long".into(),
+        Type::ULongLong => "unsigned long long".into(),
+        Type::Float => "float".into(),
+        Type::Double => "double".into(),
+        Type::String_ => "string".into(),
+        Type::Sequence(e, None) => format!("sequence<{}>", type_str(e)),
+        Type::Sequence(e, Some(b)) => format!("sequence<{}, {b}>", type_str(e)),
+        Type::DSequence(e, bound, dist) => {
+            let mut s = format!("dsequence<{}", type_str(e));
+            if let Some(b) = bound {
+                s.push_str(&format!(", {b}"));
+            }
+            if dist.is_some() {
+                s.push_str(", block");
+            }
+            s.push('>');
+            s
+        }
+        Type::Named(n) => n.clone(),
+    }
+}
+
+fn literal_str(l: &Literal) -> String {
+    match l {
+        Literal::Int(v) => format!("{v}"),
+        Literal::Float(v) => {
+            // Keep a decimal point so the value re-lexes as a float.
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains('E') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Literal::Str(s) => format!("{s:?}"),
+        Literal::Bool(true) => "TRUE".into(),
+        Literal::Bool(false) => "FALSE".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn parse(src: &str) -> Spec {
+        parser::parse(lexer::lex(src, "t.idl").unwrap(), "t.idl").unwrap()
+    }
+
+    const RICH: &str = r#"
+        module m {
+            const long MAX = 16;
+            const double PI = 3.5;
+            const string NAME = "x";
+            const boolean ON = TRUE;
+            enum Color { RED, GREEN };
+            struct P { double x; sequence<long> tags; };
+            exception oops { long code; };
+            typedef dsequence<double, 1024> arr;
+            interface base { void ping(); };
+            interface svc : base {
+                readonly attribute long n;
+                attribute double rate;
+                oneway void log(in string msg);
+                double work(in arr a, inout arr b, out long n2) raises(oops);
+            };
+        };
+    "#;
+
+    #[test]
+    fn print_parse_fixpoint() {
+        let spec1 = parse(RICH);
+        let printed1 = print_spec(&spec1);
+        let spec2 = parse(&printed1);
+        let printed2 = print_spec(&spec2);
+        // Printing is a fixpoint: once normalized, stable.
+        assert_eq!(printed1, printed2);
+        // And the reparsed AST is structurally identical up to positions.
+        assert_eq!(strip(spec1), strip(spec2));
+    }
+
+    /// Positions differ between original and printed text; normalize.
+    fn strip(mut spec: Spec) -> Spec {
+        fn fix_ty(_t: &mut Type) {}
+        fn fix(defs: &mut [Def]) {
+            use crate::diag::Pos;
+            let z = Pos::default();
+            for d in defs {
+                match d {
+                    Def::Module(m) => {
+                        m.pos = z;
+                        fix(&mut m.defs);
+                    }
+                    Def::Typedef(t) => t.pos = z,
+                    Def::Struct(s) => {
+                        s.pos = z;
+                        for m in &mut s.members {
+                            m.2 = z;
+                            fix_ty(&mut m.1);
+                        }
+                    }
+                    Def::Exception(e) => {
+                        e.pos = z;
+                        for m in &mut e.members {
+                            m.2 = z;
+                        }
+                    }
+                    Def::Enum(e) => e.pos = z,
+                    Def::Const(c) => c.pos = z,
+                    Def::Interface(i) => {
+                        i.pos = z;
+                        for a in &mut i.attrs {
+                            a.pos = z;
+                        }
+                        for o in &mut i.ops {
+                            o.pos = z;
+                            for p in &mut o.params {
+                                p.pos = z;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        fix(&mut spec.defs);
+        spec
+    }
+
+    #[test]
+    fn types_render_canonically() {
+        assert_eq!(type_str(&Type::ULongLong), "unsigned long long");
+        assert_eq!(
+            type_str(&Type::DSequence(Box::new(Type::Double), Some(8), None)),
+            "dsequence<double, 8>"
+        );
+        assert_eq!(
+            type_str(&Type::Sequence(
+                Box::new(Type::Sequence(Box::new(Type::Octet), None)),
+                Some(4)
+            )),
+            "sequence<sequence<octet>, 4>"
+        );
+    }
+
+    #[test]
+    fn printed_output_is_checkable() {
+        // The printed form passes semantic analysis too.
+        let spec = parse(RICH);
+        let printed = print_spec(&spec);
+        assert!(crate::parse_and_check(&printed, "printed.idl").is_ok());
+    }
+}

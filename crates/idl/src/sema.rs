@@ -1,0 +1,606 @@
+//! Semantic analysis: symbol resolution and the checks the code
+//! generator relies on.
+
+use crate::ast::*;
+use crate::diag::{Diagnostic, Diagnostics, Pos};
+use std::collections::HashMap;
+
+/// What a qualified name denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Symbol {
+    Module,
+    Typedef(Type),
+    Struct(StructDef),
+    Enum(EnumDef),
+    Interface(Interface),
+    Exception(ExceptDef),
+    Const(ConstDef),
+}
+
+/// A fully resolved type, with typedefs chased.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RType {
+    Void,
+    Boolean,
+    Char,
+    Octet,
+    Short,
+    UShort,
+    Long,
+    ULong,
+    LongLong,
+    ULongLong,
+    Float,
+    Double,
+    String_,
+    /// `sequence<T>`; element is itself resolved.
+    Sequence(Box<RType>, Option<u64>),
+    /// `dsequence<elem>`; the current Rust mapping supports primitive
+    /// `double`, `long` and `octet` elements.
+    DSequence(DElem, Option<u64>),
+    /// A struct, by qualified name.
+    Struct(String),
+    /// An enum, by qualified name.
+    Enum(String),
+    /// An object reference, by qualified interface name.
+    Interface(String),
+}
+
+/// Supported distributed-sequence element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DElem {
+    Double,
+    Long,
+    Octet,
+}
+
+impl DElem {
+    /// The Rust element type the mapping uses.
+    pub fn rust_type(self) -> &'static str {
+        match self {
+            DElem::Double => "f64",
+            DElem::Long => "i32",
+            DElem::Octet => "u8",
+        }
+    }
+}
+
+impl RType {
+    /// Whether values of this type are distributed arguments.
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, RType::DSequence(..))
+    }
+}
+
+/// The checked model handed to code generators.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// The original AST (checked).
+    pub spec: Spec,
+    /// Qualified name → symbol.
+    pub symbols: HashMap<String, Symbol>,
+    /// File name for diagnostics.
+    pub file: String,
+}
+
+/// Run semantic analysis.
+pub fn check(spec: Spec, file: &str) -> Result<Model, Diagnostics> {
+    let mut diags = Diagnostics::new();
+    let mut symbols = HashMap::new();
+    collect(&spec.defs, "", &mut symbols, &mut diags, file);
+    let model = Model {
+        spec,
+        symbols,
+        file: file.to_string(),
+    };
+    model.validate(&mut diags);
+    if diags.has_errors() {
+        Err(diags)
+    } else {
+        Ok(model)
+    }
+}
+
+fn collect(
+    defs: &[Def],
+    prefix: &str,
+    symbols: &mut HashMap<String, Symbol>,
+    diags: &mut Diagnostics,
+    file: &str,
+) {
+    for def in defs {
+        let qname = if prefix.is_empty() {
+            def.name().to_string()
+        } else {
+            format!("{prefix}::{}", def.name())
+        };
+        let sym = match def {
+            Def::Module(m) => {
+                collect(&m.defs, &qname, symbols, diags, file);
+                Symbol::Module
+            }
+            Def::Typedef(t) => Symbol::Typedef(t.ty.clone()),
+            Def::Struct(s) => Symbol::Struct(s.clone()),
+            Def::Enum(e) => Symbol::Enum(e.clone()),
+            Def::Interface(i) => Symbol::Interface(i.clone()),
+            Def::Exception(e) => Symbol::Exception(e.clone()),
+            Def::Const(c) => Symbol::Const(c.clone()),
+        };
+        // A forward interface declaration followed by the definition is
+        // legal; the definition wins. Everything else may not collide.
+        let collision = match (symbols.get(&qname), &sym) {
+            (None, _) => false,
+            (Some(Symbol::Interface(old)), Symbol::Interface(_)) => {
+                !(old.ops.is_empty() && old.attrs.is_empty())
+            }
+            _ => true,
+        };
+        if collision {
+            diags.push(Diagnostic::new(
+                file,
+                def.pos(),
+                format!("duplicate definition of `{qname}`"),
+            ));
+        } else {
+            symbols.insert(qname, sym);
+        }
+    }
+}
+
+impl Model {
+    /// Look up `name` starting from scope `scope` (a `::`-joined path),
+    /// walking outward, CORBA-style.
+    pub fn lookup(&self, scope: &str, name: &str) -> Option<(&str, &Symbol)> {
+        if let Some(s) = self.symbols.get(name) {
+            // Absolute / already-qualified reference.
+            if let Some((k, _)) = self.symbols.get_key_value(name) {
+                return Some((k.as_str(), s));
+            }
+        }
+        let mut parts: Vec<&str> = if scope.is_empty() {
+            vec![]
+        } else {
+            scope.split("::").collect()
+        };
+        loop {
+            let candidate = if parts.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}::{}", parts.join("::"), name)
+            };
+            if let Some((k, v)) = self.symbols.get_key_value(&candidate) {
+                return Some((k.as_str(), v));
+            }
+            if parts.is_empty() {
+                return None;
+            }
+            parts.pop();
+        }
+    }
+
+    /// Resolve a syntactic type within `scope`, chasing typedefs.
+    pub fn resolve_type(&self, ty: &Type, scope: &str) -> Result<RType, String> {
+        self.resolve_type_depth(ty, scope, 0)
+    }
+
+    fn resolve_type_depth(&self, ty: &Type, scope: &str, depth: usize) -> Result<RType, String> {
+        if depth > 64 {
+            return Err("typedef cycle detected".into());
+        }
+        Ok(match ty {
+            Type::Void => RType::Void,
+            Type::Boolean => RType::Boolean,
+            Type::Char => RType::Char,
+            Type::Octet => RType::Octet,
+            Type::Short => RType::Short,
+            Type::UShort => RType::UShort,
+            Type::Long => RType::Long,
+            Type::ULong => RType::ULong,
+            Type::LongLong => RType::LongLong,
+            Type::ULongLong => RType::ULongLong,
+            Type::Float => RType::Float,
+            Type::Double => RType::Double,
+            Type::String_ => RType::String_,
+            Type::Sequence(elem, bound) => {
+                let e = self.resolve_type_depth(elem, scope, depth + 1)?;
+                if e.is_distributed() {
+                    return Err("a sequence cannot contain a dsequence".into());
+                }
+                RType::Sequence(Box::new(e), *bound)
+            }
+            Type::DSequence(elem, bound, _dist) => {
+                let e = self.resolve_type_depth(elem, scope, depth + 1)?;
+                let de = match e {
+                    RType::Double => DElem::Double,
+                    RType::Long => DElem::Long,
+                    RType::Octet => DElem::Octet,
+                    other => {
+                        return Err(format!(
+                            "the current mapping supports dsequence elements `double`, `long` and `octet`, not {other:?}"
+                        ))
+                    }
+                };
+                RType::DSequence(de, *bound)
+            }
+            Type::Named(name) => match self.lookup(scope, name) {
+                None => return Err(format!("unknown type `{name}`")),
+                Some((qname, sym)) => match sym {
+                    Symbol::Typedef(inner) => {
+                        // Typedefs resolve in the scope they were
+                        // declared in.
+                        let tscope = parent_scope(qname);
+                        self.resolve_type_depth(&inner.clone(), &tscope, depth + 1)?
+                    }
+                    Symbol::Struct(_) => RType::Struct(qname.to_string()),
+                    Symbol::Enum(_) => RType::Enum(qname.to_string()),
+                    Symbol::Interface(_) => RType::Interface(qname.to_string()),
+                    Symbol::Exception(_) => {
+                        return Err(format!("exception `{name}` used as a type"))
+                    }
+                    Symbol::Const(_) => return Err(format!("constant `{name}` used as a type")),
+                    Symbol::Module => return Err(format!("module `{name}` used as a type")),
+                },
+            },
+        })
+    }
+
+    /// All operations of an interface including inherited ones (base
+    /// operations first, in declaration order).
+    pub fn all_ops(&self, iface: &Interface, scope: &str) -> Result<Vec<OpDecl>, String> {
+        let mut ops = Vec::new();
+        for base in &iface.bases {
+            match self.lookup(scope, base) {
+                Some((qname, Symbol::Interface(b))) => {
+                    let bscope = parent_scope(qname);
+                    ops.extend(self.all_ops(&b.clone(), &bscope)?);
+                }
+                _ => return Err(format!("unknown base interface `{base}`")),
+            }
+        }
+        ops.extend(iface.ops.iter().cloned());
+        Ok(ops)
+    }
+
+    fn validate(&self, diags: &mut Diagnostics) {
+        self.validate_defs(&self.spec.defs, "", diags);
+    }
+
+    fn validate_defs(&self, defs: &[Def], scope: &str, diags: &mut Diagnostics) {
+        for def in defs {
+            match def {
+                Def::Module(m) => {
+                    let inner = if scope.is_empty() {
+                        m.name.clone()
+                    } else {
+                        format!("{scope}::{}", m.name)
+                    };
+                    self.validate_defs(&m.defs, &inner, diags);
+                }
+                Def::Typedef(t) => {
+                    self.check_type(&t.ty, scope, t.pos, diags);
+                }
+                Def::Struct(s) => {
+                    let mut seen = std::collections::HashSet::new();
+                    for (mname, mty, mpos) in &s.members {
+                        if !seen.insert(mname.clone()) {
+                            diags.push(Diagnostic::new(
+                                &self.file,
+                                *mpos,
+                                format!("duplicate member `{mname}` in struct `{}`", s.name),
+                            ));
+                        }
+                        if let Some(rt) = self.check_type(mty, scope, *mpos, diags) {
+                            if rt.is_distributed() {
+                                diags.push(Diagnostic::new(
+                                    &self.file,
+                                    *mpos,
+                                    "struct members cannot be distributed sequences",
+                                ));
+                            }
+                        }
+                    }
+                }
+                Def::Exception(e) => {
+                    for (_, mty, mpos) in &e.members {
+                        self.check_type(mty, scope, *mpos, diags);
+                    }
+                }
+                Def::Enum(e) => {
+                    let mut seen = std::collections::HashSet::new();
+                    for v in &e.variants {
+                        if !seen.insert(v.clone()) {
+                            diags.push(Diagnostic::new(
+                                &self.file,
+                                e.pos,
+                                format!("duplicate enum variant `{v}`"),
+                            ));
+                        }
+                    }
+                }
+                Def::Const(c) => {
+                    if let Some(rt) = self.check_type(&c.ty, scope, c.pos, diags) {
+                        let ok = matches!(
+                            (&rt, &c.value),
+                            (RType::Boolean, Literal::Bool(_))
+                                | (RType::String_, Literal::Str(_))
+                                | (RType::Float | RType::Double, Literal::Float(_))
+                                | (RType::Float | RType::Double, Literal::Int(_))
+                                | (
+                                    RType::Short
+                                        | RType::UShort
+                                        | RType::Long
+                                        | RType::ULong
+                                        | RType::LongLong
+                                        | RType::ULongLong
+                                        | RType::Octet,
+                                    Literal::Int(_)
+                                )
+                        );
+                        if !ok {
+                            diags.push(Diagnostic::new(
+                                &self.file,
+                                c.pos,
+                                format!("literal does not match const type for `{}`", c.name),
+                            ));
+                        }
+                    }
+                }
+                Def::Interface(i) => self.validate_interface(i, scope, diags),
+            }
+        }
+    }
+
+    fn validate_interface(&self, i: &Interface, scope: &str, diags: &mut Diagnostics) {
+        for base in &i.bases {
+            match self.lookup(scope, base) {
+                Some((_, Symbol::Interface(_))) => {}
+                _ => diags.push(Diagnostic::new(
+                    &self.file,
+                    i.pos,
+                    format!("unknown base interface `{base}`"),
+                )),
+            }
+        }
+        let mut op_names = std::collections::HashSet::new();
+        for op in &i.ops {
+            if !op_names.insert(op.name.clone()) {
+                diags.push(Diagnostic::new(
+                    &self.file,
+                    op.pos,
+                    format!("duplicate operation `{}` (IDL has no overloading)", op.name),
+                ));
+            }
+            let ret = self.check_type(&op.ret, scope, op.pos, diags);
+            if let Some(rt) = &ret {
+                if rt.is_distributed() {
+                    diags.push(Diagnostic::new(
+                        &self.file,
+                        op.pos,
+                        "return values use the default blockwise distribution; declare the \
+                         result as an `out dsequence` parameter instead",
+                    ));
+                }
+            }
+            if op.oneway {
+                if op.ret != Type::Void {
+                    diags.push(Diagnostic::new(
+                        &self.file,
+                        op.pos,
+                        format!("oneway operation `{}` must return void", op.name),
+                    ));
+                }
+                for p in &op.params {
+                    if p.dir != ParamDir::In {
+                        diags.push(Diagnostic::new(
+                            &self.file,
+                            p.pos,
+                            format!(
+                                "oneway operation `{}` can only have `in` parameters",
+                                op.name
+                            ),
+                        ));
+                    }
+                }
+                if !op.raises.is_empty() {
+                    diags.push(Diagnostic::new(
+                        &self.file,
+                        op.pos,
+                        format!("oneway operation `{}` cannot raise exceptions", op.name),
+                    ));
+                }
+            }
+            let mut pnames = std::collections::HashSet::new();
+            for p in &op.params {
+                if !pnames.insert(p.name.clone()) {
+                    diags.push(Diagnostic::new(
+                        &self.file,
+                        p.pos,
+                        format!("duplicate parameter `{}`", p.name),
+                    ));
+                }
+                self.check_type(&p.ty, scope, p.pos, diags);
+            }
+            for r in &op.raises {
+                match self.lookup(scope, r) {
+                    Some((_, Symbol::Exception(_))) => {}
+                    _ => diags.push(Diagnostic::new(
+                        &self.file,
+                        op.pos,
+                        format!("`raises({r})` does not name an exception"),
+                    )),
+                }
+            }
+        }
+        for a in &i.attrs {
+            if let Some(rt) = self.check_type(&a.ty, scope, a.pos, diags) {
+                if rt.is_distributed() {
+                    diags.push(Diagnostic::new(
+                        &self.file,
+                        a.pos,
+                        "attributes cannot be distributed sequences",
+                    ));
+                }
+            }
+        }
+    }
+
+    fn check_type(
+        &self,
+        ty: &Type,
+        scope: &str,
+        pos: Pos,
+        diags: &mut Diagnostics,
+    ) -> Option<RType> {
+        match self.resolve_type(ty, scope) {
+            Ok(rt) => Some(rt),
+            Err(msg) => {
+                diags.push(Diagnostic::new(&self.file, pos, msg));
+                None
+            }
+        }
+    }
+}
+
+fn parent_scope(qname: &str) -> String {
+    match qname.rfind("::") {
+        Some(i) => qname[..i].to_string(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, parser};
+
+    fn model(src: &str) -> Result<Model, Diagnostics> {
+        let toks = lexer::lex(src, "t.idl").unwrap();
+        let spec = parser::parse(toks, "t.idl").unwrap();
+        check(spec, "t.idl")
+    }
+
+    #[test]
+    fn paper_example_checks() {
+        let m = model(
+            "typedef dsequence<double, 1024> diff_array;
+             interface diff_object { void diffusion(in long t, inout diff_array d); };",
+        )
+        .unwrap();
+        let rt = m
+            .resolve_type(&Type::Named("diff_array".into()), "")
+            .unwrap();
+        assert_eq!(rt, RType::DSequence(DElem::Double, Some(1024)));
+    }
+
+    #[test]
+    fn typedef_chains_resolve() {
+        let m = model("typedef long a; typedef a b; typedef b c;").unwrap();
+        assert_eq!(m.resolve_type(&Type::Named("c".into()), "").unwrap(), RType::Long);
+    }
+
+    #[test]
+    fn module_scoping() {
+        let m = model(
+            "module phys { typedef dsequence<double> field;
+                           interface sim { void step(inout field f); }; };",
+        )
+        .unwrap();
+        // Lookup from inside the module.
+        let rt = m.resolve_type(&Type::Named("field".into()), "phys").unwrap();
+        assert_eq!(rt, RType::DSequence(DElem::Double, None));
+        // Qualified lookup from outside.
+        let rt = m
+            .resolve_type(&Type::Named("phys::field".into()), "")
+            .unwrap();
+        assert_eq!(rt, RType::DSequence(DElem::Double, None));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let err = model("interface i { void f(in nosuch x); };").unwrap_err();
+        assert!(err.to_string().contains("unknown type"));
+    }
+
+    #[test]
+    fn dsequence_of_struct_rejected() {
+        let err = model("struct P { double x; }; typedef dsequence<P> bad;").unwrap_err();
+        assert!(err.to_string().contains("dsequence elements"));
+    }
+
+    #[test]
+    fn nested_dsequence_rejected() {
+        let err = model("typedef sequence<dsequence<double>> bad;").unwrap_err();
+        assert!(err.to_string().contains("cannot contain"));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(model("typedef long x; typedef double x;").is_err());
+        assert!(model("interface i { void f(); void f(in long a); };").is_err());
+        assert!(model("enum e { A, A };").is_err());
+        assert!(model("struct s { long a; double a; };").is_err());
+    }
+
+    #[test]
+    fn forward_interface_declaration_ok() {
+        let m = model("interface fwd; interface fwd { void f(); };").unwrap();
+        match m.lookup("", "fwd") {
+            Some((_, Symbol::Interface(i))) => assert_eq!(i.ops.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oneway_constraints() {
+        assert!(model("interface i { oneway long f(); };").is_err());
+        assert!(model("interface i { oneway void f(out long x); };").is_err());
+        assert!(model("exception e {}; interface i { oneway void f() raises(e); };").is_err());
+        assert!(model("interface i { oneway void f(in long x); };").is_ok());
+    }
+
+    #[test]
+    fn raises_must_name_exception() {
+        assert!(model("interface i { void f() raises(nothere); };").is_err());
+        assert!(model("struct s { long a; }; interface i { void f() raises(s); };").is_err());
+        assert!(model("exception e { long code; }; interface i { void f() raises(e); };").is_ok());
+    }
+
+    #[test]
+    fn const_literal_types() {
+        assert!(model("const long x = 5;").is_ok());
+        assert!(model("const double y = 5;").is_ok());
+        assert!(model("const string s = \"hi\";").is_ok());
+        assert!(model("const boolean b = TRUE;").is_ok());
+        assert!(model("const long bad = \"str\";").is_err());
+        assert!(model("const string bad = 7;").is_err());
+    }
+
+    #[test]
+    fn inherited_ops_flatten() {
+        let m = model(
+            "interface a { void f(); };
+             interface b : a { void g(); };",
+        )
+        .unwrap();
+        match m.lookup("", "b") {
+            Some((_, Symbol::Interface(i))) => {
+                let ops = m.all_ops(&i.clone(), "").unwrap();
+                let names: Vec<&str> = ops.iter().map(|o| o.name.as_str()).collect();
+                assert_eq!(names, vec!["f", "g"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn distributed_return_rejected_with_hint() {
+        let err = model("interface i { dsequence<double> f(); };").unwrap_err();
+        assert!(err.to_string().contains("out dsequence"));
+    }
+
+    #[test]
+    fn struct_member_dsequence_rejected() {
+        let err = model("struct s { dsequence<double> d; };").unwrap_err();
+        assert!(err.to_string().contains("struct members"));
+    }
+}

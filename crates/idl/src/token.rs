@@ -1,0 +1,158 @@
+//! Token definitions for the IDL lexer.
+
+use crate::diag::Pos;
+use std::fmt;
+
+/// IDL keywords recognized by the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Module,
+    Interface,
+    Typedef,
+    Struct,
+    Enum,
+    Const,
+    Exception,
+    Sequence,
+    DSequence,
+    Void,
+    Boolean,
+    Char,
+    Octet,
+    Short,
+    Long,
+    Unsigned,
+    Float,
+    Double,
+    String_,
+    In,
+    Out,
+    InOut,
+    Oneway,
+    Raises,
+    Readonly,
+    Attribute,
+    True_,
+    False_,
+    /// `block` — distribution annotation in `dsequence<T, N, block>`.
+    Block,
+}
+
+impl Kw {
+    /// Keyword for an identifier-shaped lexeme, if it is one. CORBA IDL
+    /// keywords are case-sensitive (lowercase), except the boolean
+    /// literals which are conventionally spelled `TRUE`/`FALSE`.
+    /// (Inherent and infallible-by-Option, hence not the `FromStr`
+    /// trait.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Kw> {
+        Some(match s {
+            "module" => Kw::Module,
+            "interface" => Kw::Interface,
+            "typedef" => Kw::Typedef,
+            "struct" => Kw::Struct,
+            "enum" => Kw::Enum,
+            "const" => Kw::Const,
+            "exception" => Kw::Exception,
+            "sequence" => Kw::Sequence,
+            "dsequence" => Kw::DSequence,
+            "void" => Kw::Void,
+            "boolean" => Kw::Boolean,
+            "char" => Kw::Char,
+            "octet" => Kw::Octet,
+            "short" => Kw::Short,
+            "long" => Kw::Long,
+            "unsigned" => Kw::Unsigned,
+            "float" => Kw::Float,
+            "double" => Kw::Double,
+            "string" => Kw::String_,
+            "in" => Kw::In,
+            "out" => Kw::Out,
+            "inout" => Kw::InOut,
+            "oneway" => Kw::Oneway,
+            "raises" => Kw::Raises,
+            "readonly" => Kw::Readonly,
+            "attribute" => Kw::Attribute,
+            "TRUE" => Kw::True_,
+            "FALSE" => Kw::False_,
+            "block" => Kw::Block,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Keyword(Kw),
+    IntLit(u64),
+    FloatLit(f64),
+    StrLit(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LAngle,
+    RAngle,
+    Semi,
+    Comma,
+    Colon,
+    ColonColon,
+    Eq,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            Tok::IntLit(v) => write!(f, "integer literal {v}"),
+            Tok::FloatLit(v) => write!(f, "float literal {v}"),
+            Tok::StrLit(s) => write!(f, "string literal {s:?}"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LAngle => write!(f, "`<`"),
+            Tok::RAngle => write!(f, "`>`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::ColonColon => write!(f, "`::`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The lexeme.
+    pub tok: Tok,
+    /// Where it begins.
+    pub pos: Pos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Kw::from_str("interface"), Some(Kw::Interface));
+        assert_eq!(Kw::from_str("dsequence"), Some(Kw::DSequence));
+        assert_eq!(Kw::from_str("TRUE"), Some(Kw::True_));
+        assert_eq!(Kw::from_str("Interface"), None, "keywords are case-sensitive");
+        assert_eq!(Kw::from_str("diffusion"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Tok::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(Tok::LBrace.to_string(), "`{`");
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests of the `pardis-idlc` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn idlc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pardis-idlc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pardis-idlc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const GOOD: &str = r#"
+typedef dsequence<double, 1024> diff_array;
+interface diff_object {
+    void diffusion(in long timestep, inout diff_array darray);
+};
+"#;
+
+#[test]
+fn compiles_to_stdout() {
+    let path = write_temp("good.idl", GOOD);
+    let out = idlc().arg(&path).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let code = String::from_utf8(out.stdout).unwrap();
+    assert!(code.contains("pub struct diff_objectProxy"));
+    assert!(code.contains("pub fn diffusion_nd_nb"));
+}
+
+#[test]
+fn writes_output_file() {
+    let path = write_temp("good2.idl", GOOD);
+    let out_path = std::env::temp_dir().join("pardis-idlc-tests/out.rs");
+    let out = idlc().arg(&path).arg("-o").arg(&out_path).output().unwrap();
+    assert!(out.status.success());
+    let code = std::fs::read_to_string(&out_path).unwrap();
+    assert!(code.contains("diff_objectSkeleton"));
+}
+
+#[test]
+fn check_mode_reports_errors_with_location() {
+    let path = write_temp("bad.idl", "interface x { void f(in nosuch t); };");
+    let out = idlc().arg("--check").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown type"), "{err}");
+    assert!(err.contains("bad.idl:1:"), "{err}");
+}
+
+#[test]
+fn check_mode_accepts_valid_idl() {
+    let path = write_temp("good3.idl", GOOD);
+    let out = idlc().arg("--check").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn emit_idl_normalizes() {
+    let path = write_temp(
+        "messy.idl",
+        "interface   x{void f(/*c*/in long    a);};  // comment",
+    );
+    let out = idlc().arg("--emit-idl").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("interface x {"));
+    assert!(text.contains("void f(in long a);"));
+    // The normalized form still compiles.
+    let norm = write_temp("normalized.idl", &text);
+    assert!(idlc().arg("--check").arg(&norm).output().unwrap().status.success());
+}
+
+#[test]
+fn emit_doc_renders_markdown() {
+    let path = write_temp("doc.idl", GOOD);
+    let out = idlc().arg("--emit-doc").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# IDL reference"));
+    assert!(text.contains("interface `diff_object`"));
+    assert!(text.contains("**[distributed]**"));
+}
+
+#[test]
+fn usage_errors() {
+    // No input file.
+    let out = idlc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown flag.
+    let out = idlc().arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing file.
+    let out = idlc().arg("/nonexistent/x.idl").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Help succeeds.
+    let out = idlc().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

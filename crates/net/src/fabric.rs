@@ -1,0 +1,424 @@
+//! Hosts, ports and routing.
+//!
+//! A [`Fabric`] is the network picture of a PARDIS deployment: a set of
+//! named [`Host`]s (machines) joined by [`crate::Link`]s. Each host hands
+//! out numbered ports; a port is owned by exactly one thread (its
+//! receiver half, [`PortRecv`]) — this is how "each computing thread of
+//! the SPMD object opens a network connection on a separate port" (§3.3).
+
+use crate::link::{Link, LinkSpec};
+use crate::{Datagram, NetError, NetResult};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a host within its fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+/// A port number on a host.
+pub type PortId = u32;
+
+struct HostEntry {
+    name: String,
+    ports: HashMap<PortId, Sender<Datagram>>,
+    next_port: PortId,
+}
+
+struct FabricInner {
+    hosts: RwLock<Vec<HostEntry>>,
+    /// Pairwise links; the paper's testbed has exactly one entry. A
+    /// missing pair means no route (except loopback, which bypasses the
+    /// wire entirely).
+    links: RwLock<HashMap<(HostId, HostId), Arc<Link>>>,
+    /// Link used for any host pair without an explicit entry, if set.
+    default_link: RwLock<Option<Arc<Link>>>,
+}
+
+/// A simulated internetwork of hosts.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// A fabric where every pair of hosts shares one link of `spec` —
+    /// the paper's configuration: one physical network link carrying all
+    /// traffic between client and server machines.
+    pub fn shared_link(spec: LinkSpec) -> Fabric {
+        let f = Fabric::new();
+        *f.inner.default_link.write() = Some(Arc::new(Link::new(spec)));
+        f
+    }
+
+    /// An empty fabric with no routes; add links with
+    /// [`Fabric::connect`].
+    pub fn new() -> Fabric {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                hosts: RwLock::new(Vec::new()),
+                links: RwLock::new(HashMap::new()),
+                default_link: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// Add a host and return a handle to it.
+    pub fn add_host(&self, name: &str) -> Host {
+        let mut hosts = self.inner.hosts.write();
+        let id = HostId(hosts.len() as u32);
+        hosts.push(HostEntry {
+            name: name.to_string(),
+            ports: HashMap::new(),
+            // Port 0 is reserved as "no reply expected".
+            next_port: 1,
+        });
+        Host {
+            fabric: self.clone(),
+            id,
+        }
+    }
+
+    /// Install a dedicated link between two hosts (both directions).
+    pub fn connect(&self, a: HostId, b: HostId, spec: LinkSpec) -> Arc<Link> {
+        let link = Arc::new(Link::new(spec));
+        let mut links = self.inner.links.write();
+        links.insert((a, b), link.clone());
+        links.insert((b, a), link.clone());
+        link
+    }
+
+    /// The shared default link, if this fabric was built with
+    /// [`Fabric::shared_link`].
+    pub fn default_link(&self) -> Option<Arc<Link>> {
+        self.inner.default_link.read().clone()
+    }
+
+    /// Look up a host id by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        self.inner
+            .hosts
+            .read()
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| HostId(i as u32))
+    }
+
+    /// Name of a host.
+    pub fn host_name(&self, id: HostId) -> Option<String> {
+        self.inner
+            .hosts
+            .read()
+            .get(id.0 as usize)
+            .map(|h| h.name.clone())
+    }
+
+    fn route(&self, from: HostId, to: HostId) -> NetResult<Option<Arc<Link>>> {
+        if from == to {
+            // Loopback: no wire.
+            return Ok(None);
+        }
+        if let Some(l) = self.inner.links.read().get(&(from, to)) {
+            return Ok(Some(l.clone()));
+        }
+        if let Some(l) = self.inner.default_link.read().clone() {
+            return Ok(Some(l));
+        }
+        Err(NetError::NoRoute { from, to })
+    }
+
+    fn deliver(&self, to: HostId, port: PortId, dg: Datagram) -> NetResult<()> {
+        let hosts = self.inner.hosts.read();
+        let entry = hosts
+            .get(to.0 as usize)
+            .ok_or(NetError::UnknownHost(to))?;
+        let tx = entry
+            .ports
+            .get(&port)
+            .ok_or(NetError::UnknownPort { host: to, port })?;
+        tx.send(dg)
+            .map_err(|_| NetError::PortClosed { host: to, port })
+    }
+
+    /// Send `payload` from `(src_host, src_port)` to `(dst_host,
+    /// dst_port)`, blocking for the wire time on the route's link.
+    /// Returns the time spent occupying the wire.
+    pub fn send(
+        &self,
+        src_host: HostId,
+        src_port: PortId,
+        dst_host: HostId,
+        dst_port: PortId,
+        payload: Bytes,
+    ) -> NetResult<Duration> {
+        let link = self.route(src_host, dst_host)?;
+        let (wire, latency) = match &link {
+            Some(l) => (l.transmit(payload.len()), l.spec().latency),
+            None => (Duration::ZERO, Duration::ZERO),
+        };
+        self.deliver(
+            dst_host,
+            dst_port,
+            Datagram {
+                src_host,
+                src_port,
+                payload,
+                // Propagation: the receiver sees the message one latency
+                // after it left the wire; the sender is not blocked.
+                deliver_at: Instant::now() + latency,
+            },
+        )?;
+        Ok(wire)
+    }
+}
+
+impl Default for Fabric {
+    fn default() -> Fabric {
+        Fabric::new()
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let hosts = self.inner.hosts.read();
+        f.debug_struct("Fabric")
+            .field("hosts", &hosts.iter().map(|h| &h.name).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A handle on one host of a fabric. Cloneable; every computing thread of
+/// a machine holds one.
+#[derive(Clone, Debug)]
+pub struct Host {
+    fabric: Fabric,
+    id: HostId,
+}
+
+impl Host {
+    /// This host's id.
+    pub fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// This host's name.
+    pub fn name(&self) -> String {
+        self.fabric.host_name(self.id).expect("own host exists")
+    }
+
+    /// The fabric this host belongs to.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Open a fresh port and return its receiving half.
+    pub fn open_port(&self) -> PortRecv {
+        let (tx, rx) = unbounded();
+        let mut hosts = self.fabric.inner.hosts.write();
+        let entry = &mut hosts[self.id.0 as usize];
+        let port = entry.next_port;
+        entry.next_port += 1;
+        entry.ports.insert(port, tx);
+        PortRecv {
+            host: self.id,
+            port,
+            rx,
+        }
+    }
+
+    /// Close a port (drops the sender side; queued datagrams are lost).
+    pub fn close_port(&self, port: PortId) {
+        let mut hosts = self.fabric.inner.hosts.write();
+        hosts[self.id.0 as usize].ports.remove(&port);
+    }
+
+    /// Send from an anonymous source port.
+    pub fn send_to(&self, dst_host: HostId, dst_port: PortId, payload: Bytes) -> NetResult<Duration> {
+        self.fabric.send(self.id, 0, dst_host, dst_port, payload)
+    }
+
+    /// Send naming a source port so the peer can reply.
+    pub fn send_from(
+        &self,
+        src_port: PortId,
+        dst_host: HostId,
+        dst_port: PortId,
+        payload: Bytes,
+    ) -> NetResult<Duration> {
+        self.fabric.send(self.id, src_port, dst_host, dst_port, payload)
+    }
+}
+
+/// The receiving half of a port; owned by one thread.
+#[derive(Debug)]
+pub struct PortRecv {
+    host: HostId,
+    port: PortId,
+    rx: Receiver<Datagram>,
+}
+
+impl PortRecv {
+    /// The host this port lives on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The port number (advertise this in object references).
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// Block until a datagram arrives (and its propagation latency has
+    /// elapsed).
+    pub fn recv(&self) -> NetResult<Datagram> {
+        let dg = self.rx.recv().map_err(|_| NetError::PortClosed {
+            host: self.host,
+            port: self.port,
+        })?;
+        Self::await_delivery(&dg);
+        Ok(dg)
+    }
+
+    /// Non-blocking receive. A datagram still in flight (latency not yet
+    /// elapsed) is waited for — it has arrived for queueing purposes.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        let dg = self.rx.try_recv().ok()?;
+        Self::await_delivery(&dg);
+        Some(dg)
+    }
+
+    /// Receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Datagram> {
+        let dg = self.rx.recv_timeout(timeout).ok()?;
+        Self::await_delivery(&dg);
+        Some(dg)
+    }
+
+    fn await_delivery(dg: &Datagram) {
+        let now = Instant::now();
+        if dg.deliver_at > now {
+            crate::link::precise_sleep(dg.deliver_at - now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_needs_no_link() {
+        let fabric = Fabric::new(); // no links at all
+        let h = fabric.add_host("solo");
+        let p = h.open_port();
+        h.send_to(h.id(), p.port(), Bytes::from_static(b"self"))
+            .unwrap();
+        assert_eq!(&p.recv().unwrap().payload[..], b"self");
+    }
+
+    #[test]
+    fn cross_host_requires_route() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let p = b.open_port();
+        assert!(matches!(
+            a.send_to(b.id(), p.port(), Bytes::new()),
+            Err(NetError::NoRoute { .. })
+        ));
+        fabric.connect(a.id(), b.id(), LinkSpec::unlimited());
+        a.send_to(b.id(), p.port(), Bytes::from_static(b"hi"))
+            .unwrap();
+        assert_eq!(&p.recv().unwrap().payload[..], b"hi");
+    }
+
+    #[test]
+    fn shared_link_routes_everywhere() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("onyx");
+        let b = fabric.add_host("challenge");
+        let p = b.open_port();
+        a.send_to(b.id(), p.port(), Bytes::from_static(b"req"))
+            .unwrap();
+        let dg = p.recv().unwrap();
+        assert_eq!(dg.src_host, a.id());
+        assert_eq!(dg.src_port, 0);
+    }
+
+    #[test]
+    fn source_port_travels_with_datagram() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let pa = a.open_port();
+        let pb = b.open_port();
+        a.send_from(pa.port(), b.id(), pb.port(), Bytes::from_static(b"q"))
+            .unwrap();
+        let dg = pb.recv().unwrap();
+        assert_eq!(dg.src_port, pa.port());
+        // Reply path using the advertised source.
+        b.send_to(dg.src_host, dg.src_port, Bytes::from_static(b"r"))
+            .unwrap();
+        assert_eq!(&pa.recv().unwrap().payload[..], b"r");
+    }
+
+    #[test]
+    fn unknown_port_detected() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        assert!(matches!(
+            a.send_to(b.id(), 999, Bytes::new()),
+            Err(NetError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    fn ports_are_unique_and_nonzero() {
+        let fabric = Fabric::new();
+        let h = fabric.add_host("h");
+        let p1 = h.open_port();
+        let p2 = h.open_port();
+        assert_ne!(p1.port(), p2.port());
+        assert_ne!(p1.port(), 0);
+    }
+
+    #[test]
+    fn host_lookup_by_name() {
+        let fabric = Fabric::new();
+        let a = fabric.add_host("onyx");
+        assert_eq!(fabric.host_by_name("onyx"), Some(a.id()));
+        assert_eq!(fabric.host_by_name("nope"), None);
+        assert_eq!(fabric.host_name(a.id()).unwrap(), "onyx");
+    }
+
+    #[test]
+    fn closed_port_reports() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let p = b.open_port();
+        let port = p.port();
+        drop(p);
+        // Sender still finds the entry but the channel is closed.
+        assert!(matches!(
+            a.send_to(b.id(), port, Bytes::new()),
+            Err(NetError::PortClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn try_and_timeout_receives() {
+        let fabric = Fabric::new();
+        let h = fabric.add_host("h");
+        let p = h.open_port();
+        assert!(p.try_recv().is_none());
+        assert!(p.recv_timeout(Duration::from_millis(5)).is_none());
+        h.send_to(h.id(), p.port(), Bytes::from_static(b"x"))
+            .unwrap();
+        assert!(p.recv_timeout(Duration::from_millis(100)).is_some());
+    }
+}

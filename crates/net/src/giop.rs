@@ -1,0 +1,470 @@
+//! GIOP-like message layer.
+//!
+//! CORBA's General Inter-ORB Protocol frames every ORB-to-ORB exchange
+//! as a typed message with a small magic+version header that also records
+//! the sender's byte order. PARDIS messages follow the same scheme with
+//! one addition: a **DataTransfer** message kind carrying a fragment of a
+//! distributed argument from one computing thread to another — the unit
+//! of the multi-port method, whose "transfer header" tells the receiver
+//! where the fragment lands ("unmarshal them according to information
+//! contained in the transfer header", §3.3).
+
+use crate::fabric::{HostId, PortId};
+use crate::{NetError, NetResult};
+use bytes::Bytes;
+use pardis_cdr::{CdrReader, CdrResult, CdrWriter, Decode, Encode, Endian};
+
+/// Protocol magic, "PARD".
+pub const MAGIC: [u8; 4] = *b"PARD";
+/// Protocol version understood by this implementation.
+pub const VERSION: u8 = 1;
+
+/// Argument transfer method requested by a client invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMode {
+    /// Arguments travel inside the request message via gather/scatter at
+    /// the communicating threads (§3.2).
+    Centralized,
+    /// Argument data flows thread-to-thread on separate ports; the
+    /// request message carries only the header and non-distributed
+    /// arguments (§3.3).
+    MultiPort,
+}
+
+impl Encode for TransferMode {
+    fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+        w.put_u32(match self {
+            TransferMode::Centralized => 0,
+            TransferMode::MultiPort => 1,
+        });
+        Ok(())
+    }
+}
+
+impl Decode for TransferMode {
+    fn decode(r: &mut CdrReader<'_>) -> CdrResult<Self> {
+        match r.get_u32()? {
+            0 => Ok(TransferMode::Centralized),
+            1 => Ok(TransferMode::MultiPort),
+            other => Err(pardis_cdr::CdrError::BadDiscriminant {
+                type_name: "TransferMode",
+                value: other,
+            }),
+        }
+    }
+}
+
+/// Header of a Request message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Client-assigned id, echoed in the reply.
+    pub request_id: u64,
+    /// Name of the target object in the naming domain.
+    pub object_name: String,
+    /// Operation to invoke.
+    pub operation: String,
+    /// False for `oneway` operations: no reply will be sent.
+    pub response_expected: bool,
+    /// Where to send the reply.
+    pub reply_host: HostId,
+    /// Port on `reply_host` awaiting the reply.
+    pub reply_port: PortId,
+    /// How distributed arguments travel.
+    pub mode: TransferMode,
+    /// Number of computing threads of the *client* (needed by the server
+    /// in multi-port mode to know how many fragments to expect, and for
+    /// reply routing of distributed out/inout arguments).
+    pub client_threads: u32,
+    /// Data ports of the client's computing threads (multi-port replies
+    /// flow directly back to these); empty in centralized mode.
+    pub client_data_ports: Vec<PortId>,
+}
+
+impl Encode for RequestHeader {
+    fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+        w.put_u64(self.request_id);
+        w.put_string(&self.object_name);
+        w.put_string(&self.operation);
+        w.put_bool(self.response_expected);
+        w.put_u32(self.reply_host.0);
+        w.put_u32(self.reply_port);
+        self.mode.encode(w)?;
+        w.put_u32(self.client_threads);
+        w.put_u32(self.client_data_ports.len() as u32);
+        for &p in &self.client_data_ports {
+            w.put_u32(p);
+        }
+        Ok(())
+    }
+}
+
+impl Decode for RequestHeader {
+    fn decode(r: &mut CdrReader<'_>) -> CdrResult<Self> {
+        let request_id = r.get_u64()?;
+        let object_name = r.get_string()?;
+        let operation = r.get_string()?;
+        let response_expected = r.get_bool()?;
+        let reply_host = HostId(r.get_u32()?);
+        let reply_port = r.get_u32()?;
+        let mode = TransferMode::decode(r)?;
+        let client_threads = r.get_u32()?;
+        let n = r.get_u32()? as usize;
+        if n > r.remaining() {
+            return Err(pardis_cdr::CdrError::LengthOverflow(n as u64));
+        }
+        let mut client_data_ports = Vec::with_capacity(n);
+        for _ in 0..n {
+            client_data_ports.push(r.get_u32()?);
+        }
+        Ok(RequestHeader {
+            request_id,
+            object_name,
+            operation,
+            response_expected,
+            reply_host,
+            reply_port,
+            mode,
+            client_threads,
+            client_data_ports,
+        })
+    }
+}
+
+/// Completion status carried in a Reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// Operation completed; body holds out/inout/return values.
+    NoException,
+    /// The servant raised an IDL-declared exception named here.
+    UserException(String),
+    /// The ORB or servant failed; human-readable reason.
+    SystemException(String),
+}
+
+impl Encode for ReplyStatus {
+    fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+        match self {
+            ReplyStatus::NoException => w.put_u32(0),
+            ReplyStatus::UserException(name) => {
+                w.put_u32(1);
+                w.put_string(name);
+            }
+            ReplyStatus::SystemException(msg) => {
+                w.put_u32(2);
+                w.put_string(msg);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Decode for ReplyStatus {
+    fn decode(r: &mut CdrReader<'_>) -> CdrResult<Self> {
+        match r.get_u32()? {
+            0 => Ok(ReplyStatus::NoException),
+            1 => Ok(ReplyStatus::UserException(r.get_string()?)),
+            2 => Ok(ReplyStatus::SystemException(r.get_string()?)),
+            other => Err(pardis_cdr::CdrError::BadDiscriminant {
+                type_name: "ReplyStatus",
+                value: other,
+            }),
+        }
+    }
+}
+
+/// Header of a Reply message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyHeader {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Completion status.
+    pub status: ReplyStatus,
+}
+
+impl Encode for ReplyHeader {
+    fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+        w.put_u64(self.request_id);
+        self.status.encode(w)
+    }
+}
+
+impl Decode for ReplyHeader {
+    fn decode(r: &mut CdrReader<'_>) -> CdrResult<Self> {
+        Ok(ReplyHeader {
+            request_id: r.get_u64()?,
+            status: ReplyStatus::decode(r)?,
+        })
+    }
+}
+
+/// Header of a DataTransfer message: one fragment of one distributed
+/// argument, flowing from a source computing thread to a destination
+/// computing thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferHeader {
+    /// Request this fragment belongs to.
+    pub request_id: u64,
+    /// Which distributed argument of the operation (zero-based among the
+    /// distributed arguments).
+    pub arg_index: u32,
+    /// Sending computing thread (client thread for requests, server
+    /// thread for replies).
+    pub src_thread: u32,
+    /// Receiving computing thread.
+    pub dst_thread: u32,
+    /// Element offset of this fragment within the *global* sequence.
+    pub offset: u64,
+    /// Number of elements in this fragment.
+    pub count: u64,
+    /// Global length of the sequence (lets the receiver size its local
+    /// part before all fragments arrive).
+    pub total_len: u64,
+}
+
+impl Encode for TransferHeader {
+    fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+        w.put_u64(self.request_id);
+        w.put_u32(self.arg_index);
+        w.put_u32(self.src_thread);
+        w.put_u32(self.dst_thread);
+        w.put_u64(self.offset);
+        w.put_u64(self.count);
+        w.put_u64(self.total_len);
+        Ok(())
+    }
+}
+
+impl Decode for TransferHeader {
+    fn decode(r: &mut CdrReader<'_>) -> CdrResult<Self> {
+        Ok(TransferHeader {
+            request_id: r.get_u64()?,
+            arg_index: r.get_u32()?,
+            src_thread: r.get_u32()?,
+            dst_thread: r.get_u32()?,
+            offset: r.get_u64()?,
+            count: r.get_u64()?,
+            total_len: r.get_u64()?,
+        })
+    }
+}
+
+/// A complete PARDIS protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GiopMessage {
+    /// Invocation: header plus marshaled argument body.
+    Request(RequestHeader, Bytes),
+    /// Completion: header plus marshaled result body.
+    Reply(ReplyHeader, Bytes),
+    /// A distributed-argument fragment plus its raw element bytes.
+    DataTransfer(TransferHeader, Bytes),
+    /// Orderly connection shutdown.
+    CloseConnection,
+}
+
+impl GiopMessage {
+    fn kind(&self) -> u8 {
+        match self {
+            GiopMessage::Request(..) => 0,
+            GiopMessage::Reply(..) => 1,
+            GiopMessage::DataTransfer(..) => 2,
+            GiopMessage::CloseConnection => 3,
+        }
+    }
+
+    /// Encode the message (header in `endian`, body appended verbatim —
+    /// bodies are themselves CDR streams in the same byte order).
+    pub fn encode(&self, endian: Endian) -> Bytes {
+        let mut w = CdrWriter::with_capacity(endian, 64);
+        w.put_bytes(&MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(endian.flag());
+        w.put_u8(self.kind());
+        w.put_u8(0); // reserved
+        match self {
+            GiopMessage::Request(h, body) => {
+                h.encode(&mut w).expect("header encode cannot fail");
+                w.put_u32(body.len() as u32);
+                w.align(8); // bodies start 8-aligned so f64 slices copy cleanly
+                w.put_bytes(body);
+            }
+            GiopMessage::Reply(h, body) => {
+                h.encode(&mut w).expect("header encode cannot fail");
+                w.put_u32(body.len() as u32);
+                w.align(8);
+                w.put_bytes(body);
+            }
+            GiopMessage::DataTransfer(h, body) => {
+                h.encode(&mut w).expect("header encode cannot fail");
+                w.put_u32(body.len() as u32);
+                w.align(8);
+                w.put_bytes(body);
+            }
+            GiopMessage::CloseConnection => {}
+        }
+        w.into_shared()
+    }
+
+    /// Decode a message from the wire.
+    pub fn decode(buf: &Bytes) -> NetResult<GiopMessage> {
+        if buf.len() < 8 {
+            return Err(NetError::BadMessage("short header".into()));
+        }
+        if buf[0..4] != MAGIC {
+            return Err(NetError::BadMessage("bad magic".into()));
+        }
+        if buf[4] != VERSION {
+            return Err(NetError::BadMessage(format!("bad version {}", buf[4])));
+        }
+        let endian = Endian::from_flag(buf[5]).map_err(NetError::from)?;
+        let kind = buf[6];
+        let mut r = CdrReader::at_offset(&buf[8..], endian, 8);
+        let take_body = |r: &mut CdrReader<'_>| -> NetResult<Bytes> {
+            let len = r.get_u32()? as usize;
+            r.align(8)?;
+            let start = 8 + r.position();
+            if start + len > buf.len() {
+                return Err(NetError::BadMessage("body truncated".into()));
+            }
+            Ok(buf.slice(start..start + len))
+        };
+        match kind {
+            0 => {
+                let h = RequestHeader::decode(&mut r)?;
+                let body = take_body(&mut r)?;
+                Ok(GiopMessage::Request(h, body))
+            }
+            1 => {
+                let h = ReplyHeader::decode(&mut r)?;
+                let body = take_body(&mut r)?;
+                Ok(GiopMessage::Reply(h, body))
+            }
+            2 => {
+                let h = TransferHeader::decode(&mut r)?;
+                let body = take_body(&mut r)?;
+                Ok(GiopMessage::DataTransfer(h, body))
+            }
+            3 => Ok(GiopMessage::CloseConnection),
+            other => Err(NetError::BadMessage(format!("unknown kind {other}"))),
+        }
+    }
+
+    /// The byte order the message body was encoded in.
+    pub fn body_endian(buf: &Bytes) -> NetResult<Endian> {
+        if buf.len() < 8 || buf[0..4] != MAGIC {
+            return Err(NetError::BadMessage("short or bad header".into()));
+        }
+        Endian::from_flag(buf[5]).map_err(NetError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestHeader {
+        RequestHeader {
+            request_id: 42,
+            object_name: "example".into(),
+            operation: "diffusion".into(),
+            response_expected: true,
+            reply_host: HostId(0),
+            reply_port: 11,
+            mode: TransferMode::MultiPort,
+            client_threads: 4,
+            client_data_ports: vec![21, 22, 23, 24],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_both_endians() {
+        for endian in [Endian::Big, Endian::Little] {
+            let msg = GiopMessage::Request(sample_request(), Bytes::from_static(b"body-bytes"));
+            let wire = msg.encode(endian);
+            assert_eq!(&wire[0..4], b"PARD");
+            let back = GiopMessage::decode(&wire).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(GiopMessage::body_endian(&wire).unwrap(), endian);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for status in [
+            ReplyStatus::NoException,
+            ReplyStatus::UserException("overflow".into()),
+            ReplyStatus::SystemException("object not found".into()),
+        ] {
+            let msg = GiopMessage::Reply(
+                ReplyHeader {
+                    request_id: 7,
+                    status,
+                },
+                Bytes::from_static(&[1, 2, 3]),
+            );
+            let wire = msg.encode(Endian::native());
+            assert_eq!(GiopMessage::decode(&wire).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn data_transfer_roundtrip() {
+        let msg = GiopMessage::DataTransfer(
+            TransferHeader {
+                request_id: 9,
+                arg_index: 1,
+                src_thread: 2,
+                dst_thread: 5,
+                offset: 1024,
+                count: 512,
+                total_len: 4096,
+            },
+            Bytes::from(vec![0u8; 4096]),
+        );
+        let wire = msg.encode(Endian::native());
+        let back = GiopMessage::decode(&wire).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn close_connection_roundtrip() {
+        let wire = GiopMessage::CloseConnection.encode(Endian::native());
+        assert_eq!(
+            GiopMessage::decode(&wire).unwrap(),
+            GiopMessage::CloseConnection
+        );
+    }
+
+    #[test]
+    fn body_is_eight_aligned() {
+        // The body slice must begin at an 8-aligned stream offset so that
+        // f64 payloads decode without copying regardless of header size.
+        let msg = GiopMessage::Request(sample_request(), Bytes::from_static(b"x"));
+        let wire = msg.encode(Endian::native());
+        // Find the body: it is the final 1 byte.
+        let body_off = wire.len() - 1;
+        assert_eq!(body_off % 8, 0);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(GiopMessage::decode(&Bytes::from_static(b"????????")).is_err());
+        assert!(GiopMessage::decode(&Bytes::from_static(b"PAR")).is_err());
+        let mut wire = GiopMessage::CloseConnection.encode(Endian::native()).to_vec();
+        wire[4] = 99; // bad version
+        assert!(GiopMessage::decode(&Bytes::from(wire)).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let msg = GiopMessage::Reply(
+            ReplyHeader {
+                request_id: 1,
+                status: ReplyStatus::NoException,
+            },
+            Bytes::from(vec![7u8; 100]),
+        );
+        let wire = msg.encode(Endian::native());
+        let cut = wire.slice(0..wire.len() - 10);
+        assert!(GiopMessage::decode(&cut).is_err());
+    }
+}

@@ -1,0 +1,449 @@
+//! Collective operations over a domain.
+//!
+//! All collectives must be called by **every** rank of the domain
+//! (SPMD-style), mirroring both MPI semantics and the paper's assumption
+//! that "most invocations of the methods on the sequence will be
+//! SPMD-style, that is they will be called collectively by all the
+//! computing threads" (§2.2).
+//!
+//! Algorithms are *linear through a root*: gather is `size-1` receives at
+//! the root, scatter is `size-1` sends from the root. This matches the
+//! era's MPICH on small shared-memory machines and is deliberately kept
+//! so that the centralized transfer method exhibits the gather/scatter
+//! scaling the paper measures in Table 1 (cost grows with the number of
+//! computing threads).
+
+use crate::endpoint::Endpoint;
+use crate::error::{RtsError, RtsResult};
+use crate::reduce::ReduceOp;
+use crate::Tag;
+use bytes::Bytes;
+
+/// Internal tags for the collective algorithms (above
+/// [`crate::RESERVED_TAG_BASE`]). Distinct tags per collective kind keep
+/// a mis-nested program failing loudly instead of cross-matching.
+mod tags {
+    use crate::{Tag, RESERVED_TAG_BASE};
+    pub const BCAST: Tag = RESERVED_TAG_BASE + 1;
+    pub const GATHER: Tag = RESERVED_TAG_BASE + 2;
+    pub const SCATTER: Tag = RESERVED_TAG_BASE + 3;
+    pub const ALLGATHER: Tag = RESERVED_TAG_BASE + 4;
+    pub const REDUCE: Tag = RESERVED_TAG_BASE + 5;
+    pub const ALLTOALL: Tag = RESERVED_TAG_BASE + 6;
+}
+
+impl Endpoint {
+    /// Broadcast `data` from `root` to every rank; returns the payload on
+    /// every rank (on the root it is the input, refcounted).
+    pub fn broadcast(&self, root: usize, data: Option<Bytes>) -> RtsResult<Bytes> {
+        if root >= self.size() {
+            return Err(RtsError::BadRank {
+                rank: root,
+                size: self.size(),
+            });
+        }
+        if self.rank() == root {
+            let data = data.expect("root must supply broadcast data");
+            for to in 0..self.size() {
+                if to != root {
+                    self.send_internal(to, tags::BCAST, data.clone())?;
+                }
+            }
+            Ok(data)
+        } else {
+            self.recv_internal(root, tags::BCAST)
+        }
+    }
+
+    /// Gather each rank's `bytes` at `root`. Returns `Some(chunks)` in
+    /// rank order at the root, `None` elsewhere.
+    pub fn gather_bytes(&self, root: usize, bytes: Bytes) -> RtsResult<Option<Vec<Bytes>>> {
+        if root >= self.size() {
+            return Err(RtsError::BadRank {
+                rank: root,
+                size: self.size(),
+            });
+        }
+        if self.rank() == root {
+            let mut chunks: Vec<Option<Bytes>> = vec![None; self.size()];
+            chunks[root] = Some(bytes);
+            for _ in 0..self.size() - 1 {
+                let m = self.recv_any_internal(tags::GATHER)?;
+                chunks[m.from] = Some(m.payload);
+            }
+            Ok(Some(
+                chunks.into_iter().map(|c| c.expect("all ranks sent")).collect(),
+            ))
+        } else {
+            self.send_internal(root, tags::GATHER, bytes)?;
+            Ok(None)
+        }
+    }
+
+    /// Gather a distributed `f64` buffer at `root`, concatenated in rank
+    /// order. This is exactly the "gather … performed by PARDIS using the
+    /// interface to the run-time system" of the centralized method
+    /// (paper §3.2, figure 2).
+    pub fn gather_f64(&self, root: usize, local: &[f64]) -> RtsResult<Option<Vec<f64>>> {
+        let payload = Bytes::copy_from_slice(pardis_bytes_of(local));
+        match self.gather_bytes(root, payload)? {
+            None => Ok(None),
+            Some(chunks) => {
+                let total: usize = chunks.iter().map(|c| c.len() / 8).sum();
+                let mut out = Vec::with_capacity(total);
+                for c in &chunks {
+                    bytes_to_f64(c, &mut out);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Scatter variable-size chunks from `root`: the root supplies one
+    /// `Bytes` per rank (in rank order); every rank receives its chunk.
+    pub fn scatterv_bytes(&self, root: usize, chunks: Option<Vec<Bytes>>) -> RtsResult<Bytes> {
+        if root >= self.size() {
+            return Err(RtsError::BadRank {
+                rank: root,
+                size: self.size(),
+            });
+        }
+        if self.rank() == root {
+            let chunks = chunks.expect("root must supply scatter chunks");
+            if chunks.len() != self.size() {
+                return Err(RtsError::BadCounts {
+                    expected: self.size(),
+                    got: chunks.len(),
+                });
+            }
+            let mut mine = None;
+            for (to, chunk) in chunks.into_iter().enumerate() {
+                if to == root {
+                    mine = Some(chunk);
+                } else {
+                    self.send_internal(to, tags::SCATTER, chunk)?;
+                }
+            }
+            Ok(mine.expect("root chunk present"))
+        } else {
+            self.recv_internal(root, tags::SCATTER)
+        }
+    }
+
+    /// Scatter an `f64` buffer held at `root` according to per-rank
+    /// `counts` (known to all ranks). Returns this rank's slice.
+    pub fn scatterv_f64(
+        &self,
+        root: usize,
+        full: Option<&[f64]>,
+        counts: &[usize],
+    ) -> RtsResult<Vec<f64>> {
+        if counts.len() != self.size() {
+            return Err(RtsError::BadCounts {
+                expected: self.size(),
+                got: counts.len(),
+            });
+        }
+        let chunks = if self.rank() == root {
+            let full = full.expect("root must supply the full buffer");
+            let expected: usize = counts.iter().sum();
+            if full.len() != expected {
+                return Err(RtsError::LengthMismatch {
+                    expected,
+                    got: full.len(),
+                });
+            }
+            let mut out = Vec::with_capacity(self.size());
+            let mut off = 0;
+            for &c in counts {
+                out.push(Bytes::copy_from_slice(pardis_bytes_of(&full[off..off + c])));
+                off += c;
+            }
+            Some(out)
+        } else {
+            None
+        };
+        let mine = self.scatterv_bytes(root, chunks)?;
+        let mut out = Vec::with_capacity(mine.len() / 8);
+        bytes_to_f64(&mine, &mut out);
+        Ok(out)
+    }
+
+    /// All ranks receive every rank's `bytes`, in rank order.
+    /// Linear: gather to rank 0 then broadcast.
+    pub fn allgather_bytes(&self, bytes: Bytes) -> RtsResult<Vec<Bytes>> {
+        let gathered = self.gather_bytes(0, bytes)?;
+        // Rank 0 re-broadcasts each chunk; cheap for the metadata-sized
+        // payloads this is used for (object references, lengths).
+        if self.rank() == 0 {
+            let chunks = gathered.expect("rank 0 gathered");
+            for to in 1..self.size() {
+                for chunk in &chunks {
+                    self.send_internal(to, tags::ALLGATHER, chunk.clone())?;
+                }
+            }
+            Ok(chunks)
+        } else {
+            let mut chunks = Vec::with_capacity(self.size());
+            for _ in 0..self.size() {
+                chunks.push(self.recv_internal(0, tags::ALLGATHER)?);
+            }
+            Ok(chunks)
+        }
+    }
+
+    /// All-gather a small `u64` (lengths, ports, flags). Returns the
+    /// per-rank values in rank order on every rank.
+    pub fn allgather_u64(&self, value: u64) -> RtsResult<Vec<u64>> {
+        let chunks = self.allgather_bytes(Bytes::copy_from_slice(&value.to_le_bytes()))?;
+        Ok(chunks
+            .iter()
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(&c[..8]);
+                u64::from_le_bytes(a)
+            })
+            .collect())
+    }
+
+    /// Element-wise reduction of `local` across all ranks; every rank
+    /// receives the result (reduce-to-root then broadcast).
+    pub fn allreduce_f64(&self, local: &[f64], op: ReduceOp) -> RtsResult<Vec<f64>> {
+        // Reduce at rank 0.
+        let reduced = if self.rank() == 0 {
+            let mut acc = local.to_vec();
+            for _ in 0..self.size() - 1 {
+                let m = self.recv_any_internal(tags::REDUCE)?;
+                let mut incoming = Vec::with_capacity(m.payload.len() / 8);
+                bytes_to_f64(&m.payload, &mut incoming);
+                if incoming.len() != acc.len() {
+                    return Err(RtsError::LengthMismatch {
+                        expected: acc.len(),
+                        got: incoming.len(),
+                    });
+                }
+                op.fold_into(&mut acc, &incoming);
+            }
+            Some(Bytes::copy_from_slice(pardis_bytes_of(&acc)))
+        } else {
+            self.send_internal(0, tags::REDUCE, Bytes::copy_from_slice(pardis_bytes_of(local)))?;
+            None
+        };
+        let result = self.broadcast(0, reduced)?;
+        let mut out = Vec::with_capacity(result.len() / 8);
+        bytes_to_f64(&result, &mut out);
+        Ok(out)
+    }
+
+    /// Scalar allreduce convenience.
+    pub fn allreduce_scalar(&self, value: f64, op: ReduceOp) -> RtsResult<f64> {
+        Ok(self.allreduce_f64(&[value], op)?[0])
+    }
+
+    /// Personalized all-to-all: `outgoing[j]` goes to rank `j`; returns
+    /// the chunk received from each rank, in rank order. The workhorse of
+    /// distributed-sequence redistribution.
+    pub fn alltoallv_bytes(&self, outgoing: Vec<Bytes>) -> RtsResult<Vec<Bytes>> {
+        if outgoing.len() != self.size() {
+            return Err(RtsError::BadCounts {
+                expected: self.size(),
+                got: outgoing.len(),
+            });
+        }
+        let mut incoming: Vec<Option<Bytes>> = vec![None; self.size()];
+        for (to, chunk) in outgoing.into_iter().enumerate() {
+            if to == self.rank() {
+                incoming[to] = Some(chunk);
+            } else {
+                self.send_internal(to, tags::ALLTOALL, chunk)?;
+            }
+        }
+        for _ in 0..self.size() - 1 {
+            let m = self.recv_any_internal(tags::ALLTOALL)?;
+            incoming[m.from] = Some(m.payload);
+        }
+        Ok(incoming
+            .into_iter()
+            .map(|c| c.expect("all ranks sent"))
+            .collect())
+    }
+
+    // Internal recv helpers that bypass the user-tag check (collective
+    // tags live in the reserved space).
+    fn recv_internal(&self, from: usize, tag: Tag) -> RtsResult<Bytes> {
+        self.recv_filtered(move |m| m.from == from && m.tag == tag)
+            .map(|m| m.payload)
+    }
+
+    fn recv_any_internal(&self, tag: Tag) -> RtsResult<crate::Message> {
+        self.recv_filtered(move |m| m.tag == tag)
+    }
+}
+
+/// Reinterpret an `f64` slice as bytes (native order; intra-machine, so
+/// no translation needed — both "machines" share this process).
+#[inline]
+fn pardis_bytes_of(v: &[f64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+#[inline]
+fn bytes_to_f64(bytes: &[u8], out: &mut Vec<f64>) {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    out.extend(bytes.chunks_exact(8).map(|c| {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(c);
+        f64::from_ne_bytes(a)
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let results = Domain::run(4, |ep| {
+            let data = if ep.rank() == 2 {
+                Some(Bytes::from_static(b"hello"))
+            } else {
+                None
+            };
+            ep.broadcast(2, data).unwrap().to_vec()
+        });
+        for r in results {
+            assert_eq!(r, b"hello");
+        }
+    }
+
+    #[test]
+    fn gather_f64_rank_order() {
+        let results = Domain::run(3, |ep| {
+            let local = vec![ep.rank() as f64; ep.rank() + 1];
+            ep.gather_f64(0, &local).unwrap()
+        });
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        );
+        assert!(results[1].is_none());
+        assert!(results[2].is_none());
+    }
+
+    #[test]
+    fn scatterv_f64_counts() {
+        let results = Domain::run(3, |ep| {
+            let counts = [1usize, 2, 3];
+            let full: Vec<f64> = (0..6).map(|x| x as f64).collect();
+            let root_buf = if ep.rank() == 0 { Some(&full[..]) } else { None };
+            ep.scatterv_f64(0, root_buf, &counts).unwrap()
+        });
+        assert_eq!(results[0], vec![0.0]);
+        assert_eq!(results[1], vec![1.0, 2.0]);
+        assert_eq!(results[2], vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrips() {
+        // The centralized-method pattern: gather at a communicating
+        // thread, then scatter back out.
+        let results = Domain::run(4, |ep| {
+            let local: Vec<f64> = (0..5).map(|i| (ep.rank() * 5 + i) as f64).collect();
+            let gathered = ep.gather_f64(0, &local).unwrap();
+            let counts = [5usize; 4];
+            ep.scatterv_f64(0, gathered.as_deref(), &counts).unwrap()
+        });
+        for (rank, got) in results.iter().enumerate() {
+            let want: Vec<f64> = (0..5).map(|i| (rank * 5 + i) as f64).collect();
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn allgather_u64_everywhere() {
+        let results = Domain::run(4, |ep| ep.allgather_u64(ep.rank() as u64 * 100).unwrap());
+        for r in results {
+            assert_eq!(r, vec![0, 100, 200, 300]);
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_min_max() {
+        let results = Domain::run(4, |ep| {
+            let v = ep.rank() as f64;
+            (
+                ep.allreduce_scalar(v, ReduceOp::Sum).unwrap(),
+                ep.allreduce_scalar(v, ReduceOp::Min).unwrap(),
+                ep.allreduce_scalar(v, ReduceOp::Max).unwrap(),
+            )
+        });
+        for (s, mn, mx) in results {
+            assert_eq!(s, 6.0);
+            assert_eq!(mn, 0.0);
+            assert_eq!(mx, 3.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_vector() {
+        let results = Domain::run(3, |ep| {
+            let v = vec![ep.rank() as f64, 1.0];
+            ep.allreduce_f64(&v, ReduceOp::Sum).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges() {
+        let results = Domain::run(3, |ep| {
+            let outgoing: Vec<Bytes> = (0..3)
+                .map(|to| Bytes::from(vec![(ep.rank() * 10 + to) as u8]))
+                .collect();
+            ep.alltoallv_bytes(outgoing)
+                .unwrap()
+                .iter()
+                .map(|b| b[0])
+                .collect::<Vec<u8>>()
+        });
+        // incoming[from] at rank r should be from*10 + r
+        for (r, inc) in results.iter().enumerate() {
+            let want: Vec<u8> = (0..3).map(|from| (from * 10 + r) as u8).collect();
+            assert_eq!(inc, &want);
+        }
+    }
+
+    #[test]
+    fn scatter_count_mismatch_detected() {
+        let results = Domain::run(2, |ep| {
+            let counts = [1usize, 2, 3]; // wrong arity on purpose
+            let full = [0.0f64; 6];
+            let root = if ep.rank() == 0 { Some(&full[..]) } else { None };
+            ep.scatterv_f64(0, root, &counts)
+        });
+        for r in results {
+            assert!(matches!(r, Err(RtsError::BadCounts { .. })));
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_degenerate() {
+        Domain::run(1, |ep| {
+            assert_eq!(
+                ep.broadcast(0, Some(Bytes::from_static(b"x"))).unwrap(),
+                Bytes::from_static(b"x")
+            );
+            assert_eq!(
+                ep.gather_f64(0, &[1.0]).unwrap().unwrap(),
+                vec![1.0]
+            );
+            assert_eq!(ep.allreduce_scalar(5.0, ReduceOp::Sum).unwrap(), 5.0);
+            let inc = ep
+                .alltoallv_bytes(vec![Bytes::from_static(b"me")])
+                .unwrap();
+            assert_eq!(&inc[0][..], b"me");
+        });
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the run-time system interface.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type RtsResult<T> = Result<T, RtsError>;
+
+/// Errors raised by RTS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtsError {
+    /// A rank argument was out of range for the domain.
+    BadRank { rank: usize, size: usize },
+    /// A peer endpoint was dropped while we were sending to or receiving
+    /// from it (the parallel program is tearing down unevenly).
+    Disconnected { peer: usize },
+    /// A user tag collided with the reserved internal tag space.
+    ReservedTag(crate::Tag),
+    /// Counts passed to a v-collective did not match the domain size.
+    BadCounts { expected: usize, got: usize },
+    /// Buffer lengths disagreed with the counts metadata.
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for RtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtsError::BadRank { rank, size } => {
+                write!(f, "rank {rank} out of range for domain of size {size}")
+            }
+            RtsError::Disconnected { peer } => {
+                write!(f, "peer rank {peer} disconnected")
+            }
+            RtsError::ReservedTag(t) => {
+                write!(f, "tag {t:#x} lies in the reserved internal tag space")
+            }
+            RtsError::BadCounts { expected, got } => {
+                write!(f, "expected {expected} per-rank counts, got {got}")
+            }
+            RtsError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ranks() {
+        let e = RtsError::BadRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("rank 9"));
+        assert!(e.to_string().contains("size 4"));
+    }
+}

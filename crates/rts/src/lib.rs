@@ -1,0 +1,78 @@
+//! # pardis-rts — the PARDIS generic run-time system interface
+//!
+//! PARDIS does not talk to a parallel application's computing threads
+//! directly; it goes through a *generic run-time system interface* that
+//! "encompasses the functionality of message-passing libraries" (§2.3 of
+//! the paper — tested there against MPI and Tulip). This crate is that
+//! interface plus an in-process implementation: a [`Domain`] of `n`
+//! ranks, each an OS thread holding an [`Endpoint`], communicating over
+//! lock-free channels — the moral equivalent of MPICH compiled for
+//! shared memory, which is exactly how the paper ran its client and
+//! server machines.
+//!
+//! The interface surface is deliberately MPI-shaped:
+//!
+//! * point-to-point [`Endpoint::send`] / [`Endpoint::recv`] with
+//!   `(source, tag)` matching,
+//! * collectives: barrier, broadcast, gather(v), scatter(v), allgather,
+//!   allreduce, alltoallv,
+//! * all collectives use linear (root-relayed) algorithms, matching
+//!   mid-90s MPICH behaviour on small SMPs — this is what makes the cost
+//!   of the centralized method's gather/scatter grow with thread count,
+//!   the effect Table 1 of the paper measures.
+//!
+//! ```
+//! use pardis_rts::Domain;
+//!
+//! let eps = Domain::new(4);
+//! let handles: Vec<_> = eps
+//!     .into_iter()
+//!     .map(|ep| {
+//!         std::thread::spawn(move || {
+//!             // Every rank contributes rank*10; rank 0 gathers.
+//!             let mine = vec![(ep.rank() as f64) * 10.0];
+//!             let all = ep.gather_f64(0, &mine).unwrap();
+//!             if ep.rank() == 0 {
+//!                 assert_eq!(all.unwrap(), vec![0.0, 10.0, 20.0, 30.0]);
+//!             }
+//!             ep.barrier();
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! ```
+
+pub mod collectives;
+pub mod domain;
+pub mod endpoint;
+pub mod error;
+pub mod reduce;
+pub mod rma;
+pub mod traits;
+
+pub use domain::Domain;
+pub use endpoint::{Endpoint, Message};
+pub use error::{RtsError, RtsResult};
+pub use reduce::ReduceOp;
+pub use rma::Window;
+pub use traits::RtsComm;
+
+/// Message tag: distinguishes independent conversations between the same
+/// pair of ranks, exactly as in MPI.
+pub type Tag = u32;
+
+/// Tags at or above this value are reserved for internal use by the
+/// collective algorithms; user code must stay below it.
+pub const RESERVED_TAG_BASE: Tag = 0xF000_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_base_leaves_user_space() {
+        const { assert!(RESERVED_TAG_BASE > 1_000_000) };
+    }
+}

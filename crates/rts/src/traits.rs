@@ -1,0 +1,103 @@
+//! The *generic run-time system interface* of PARDIS §2.3.
+//!
+//! The paper: "A generic run-time system interface has therefore been
+//! built into PARDIS libraries and may also be used by the
+//! compiler-generated stubs. To date only one run-time system interface
+//! has been specified; it encompasses the functionality of
+//! message-passing libraries". [`RtsComm`] is that message-passing
+//! interface; [`crate::Endpoint`] is its in-process implementation.
+//! Alternative implementations (e.g. a real MPI binding, or the one-sided
+//! interface the paper leaves to future work) would implement this trait.
+
+use crate::error::RtsResult;
+use crate::reduce::ReduceOp;
+use crate::Tag;
+use bytes::Bytes;
+
+/// Message-passing run-time system interface used by the ORB and by
+/// compiler-generated stubs.
+pub trait RtsComm {
+    /// Rank of the calling computing thread.
+    fn rank(&self) -> usize;
+    /// Number of computing threads in the parallel program.
+    fn size(&self) -> usize;
+    /// Point-to-point send.
+    fn send(&self, to: usize, tag: Tag, payload: Bytes) -> RtsResult<()>;
+    /// Point-to-point receive with `(source, tag)` matching.
+    fn recv(&self, from: usize, tag: Tag) -> RtsResult<Bytes>;
+    /// Collective barrier.
+    fn barrier(&self);
+    /// Collective broadcast from `root`.
+    fn broadcast(&self, root: usize, data: Option<Bytes>) -> RtsResult<Bytes>;
+    /// Collective gather of byte chunks at `root`.
+    fn gather_bytes(&self, root: usize, bytes: Bytes) -> RtsResult<Option<Vec<Bytes>>>;
+    /// Collective variable scatter of byte chunks from `root`.
+    fn scatterv_bytes(&self, root: usize, chunks: Option<Vec<Bytes>>) -> RtsResult<Bytes>;
+    /// Collective element-wise reduction; result on all ranks.
+    fn allreduce_f64(&self, local: &[f64], op: ReduceOp) -> RtsResult<Vec<f64>>;
+    /// Collective all-gather of a small integer.
+    fn allgather_u64(&self, value: u64) -> RtsResult<Vec<u64>>;
+    /// Collective personalized exchange.
+    fn alltoallv_bytes(&self, outgoing: Vec<Bytes>) -> RtsResult<Vec<Bytes>>;
+}
+
+impl RtsComm for crate::Endpoint {
+    fn rank(&self) -> usize {
+        crate::Endpoint::rank(self)
+    }
+    fn size(&self) -> usize {
+        crate::Endpoint::size(self)
+    }
+    fn send(&self, to: usize, tag: Tag, payload: Bytes) -> RtsResult<()> {
+        crate::Endpoint::send(self, to, tag, payload)
+    }
+    fn recv(&self, from: usize, tag: Tag) -> RtsResult<Bytes> {
+        crate::Endpoint::recv(self, from, tag)
+    }
+    fn barrier(&self) {
+        crate::Endpoint::barrier(self)
+    }
+    fn broadcast(&self, root: usize, data: Option<Bytes>) -> RtsResult<Bytes> {
+        crate::Endpoint::broadcast(self, root, data)
+    }
+    fn gather_bytes(&self, root: usize, bytes: Bytes) -> RtsResult<Option<Vec<Bytes>>> {
+        crate::Endpoint::gather_bytes(self, root, bytes)
+    }
+    fn scatterv_bytes(&self, root: usize, chunks: Option<Vec<Bytes>>) -> RtsResult<Bytes> {
+        crate::Endpoint::scatterv_bytes(self, root, chunks)
+    }
+    fn allreduce_f64(&self, local: &[f64], op: ReduceOp) -> RtsResult<Vec<f64>> {
+        crate::Endpoint::allreduce_f64(self, local, op)
+    }
+    fn allgather_u64(&self, value: u64) -> RtsResult<Vec<u64>> {
+        crate::Endpoint::allgather_u64(self, value)
+    }
+    fn alltoallv_bytes(&self, outgoing: Vec<Bytes>) -> RtsResult<Vec<Bytes>> {
+        crate::Endpoint::alltoallv_bytes(self, outgoing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+
+    /// Exercise the trait object path: the ORB holds `&dyn RtsComm`.
+    fn use_dyn(rts: &dyn RtsComm) -> usize {
+        rts.rank() + rts.size()
+    }
+
+    #[test]
+    fn endpoint_is_object_safe_rtscomm() {
+        Domain::run(3, |ep| {
+            assert_eq!(use_dyn(&ep), ep.rank() + 3);
+            let sum = rts_sum(&ep, ep.rank() as f64);
+            assert_eq!(sum, 3.0);
+        });
+    }
+
+    /// Generic over the trait, as compiler-generated stubs are.
+    fn rts_sum<R: RtsComm>(rts: &R, v: f64) -> f64 {
+        rts.allreduce_f64(&[v], ReduceOp::Sum).unwrap()[0]
+    }
+}

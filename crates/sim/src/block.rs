@@ -1,0 +1,159 @@
+//! Blockwise and proportional ownership math for the simulator.
+//!
+//! Mirrors `pardis-core::dist` for the simulator's purposes (the crate
+//! is deliberately standalone so experiments can be replayed without the
+//! full ORB).
+
+use std::ops::Range;
+
+/// Per-thread element counts (contiguous in rank order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    counts: Vec<u64>,
+    offsets: Vec<u64>,
+}
+
+impl Layout {
+    /// Explicit counts.
+    pub fn from_counts(counts: Vec<u64>) -> Layout {
+        assert!(!counts.is_empty());
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        Layout { counts, offsets }
+    }
+
+    /// Uniform blockwise split: the first `len % n` threads own one
+    /// extra element.
+    pub fn block(len: u64, n: usize) -> Layout {
+        let base = len / n as u64;
+        let rem = (len % n as u64) as usize;
+        Layout::from_counts(
+            (0..n)
+                .map(|t| base + u64::from(t < rem))
+                .collect(),
+        )
+    }
+
+    /// Largest-remainder proportional split (matches
+    /// `pardis-core::DistTempl::proportional`).
+    pub fn proportional(len: u64, weights: &[u32]) -> Layout {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0);
+        let mut counts = vec![0u64; weights.len()];
+        let mut rems: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
+        let mut assigned = 0u64;
+        for (t, &w) in weights.iter().enumerate() {
+            let exact = len * w as u64;
+            counts[t] = exact / total;
+            rems.push((exact % total, t));
+            assigned += counts[t];
+        }
+        rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, t) in rems.iter().take((len - assigned) as usize) {
+            counts[t] += 1;
+        }
+        Layout::from_counts(counts)
+    }
+
+    /// Number of threads.
+    pub fn nthreads(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> u64 {
+        *self.offsets.last().expect("nonempty")
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Elements owned by `t`.
+    pub fn count(&self, t: usize) -> u64 {
+        self.counts[t]
+    }
+
+    /// Global range owned by `t`.
+    pub fn range(&self, t: usize) -> Range<u64> {
+        self.offsets[t]..self.offsets[t + 1]
+    }
+
+    /// The `(dst, element_count)` fragments thread `src` must send so
+    /// data laid out by `self` lands laid out by `dst_layout`.
+    pub fn transfers_to(&self, src: usize, dst_layout: &Layout) -> Vec<(usize, u64)> {
+        let my = self.range(src);
+        if my.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for d in 0..dst_layout.nthreads() {
+            let dr = dst_layout.range(d);
+            let start = my.start.max(dr.start);
+            let end = my.end.min(dr.end);
+            if start < end {
+                out.push((d, end - start));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_split() {
+        let l = Layout::block(10, 4);
+        assert_eq!(l.count(0), 3);
+        assert_eq!(l.count(2), 2);
+        assert_eq!(l.len(), 10);
+        assert_eq!(l.range(1), 3..6);
+    }
+
+    #[test]
+    fn transfers_cover_all() {
+        let src = Layout::block(100, 4);
+        let dst = Layout::block(100, 8);
+        let total: u64 = (0..4)
+            .flat_map(|s| src.transfers_to(s, &dst))
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(total, 100);
+        // 4 -> 8 block with a remainder: each source thread feeds 2 or 3
+        // destinations (ranges of 25 overlap 2–3 ranges of 12–13).
+        for s in 0..4 {
+            let k = src.transfers_to(s, &dst).len();
+            assert!((2..=3).contains(&k), "source {s} feeds {k}");
+        }
+        // Exact 4 -> 8 split (no remainder): exactly 2 each.
+        let src = Layout::block(96, 4);
+        let dst = Layout::block(96, 8);
+        for s in 0..4 {
+            assert_eq!(src.transfers_to(s, &dst).len(), 2);
+        }
+    }
+
+    #[test]
+    fn proportional_matches_paper_example() {
+        let l = Layout::proportional(12, &[2, 4, 2, 4]);
+        assert_eq!(l.count(0), 2);
+        assert_eq!(l.count(1), 4);
+        assert_eq!(l.count(3), 4);
+    }
+
+    #[test]
+    fn uneven_lengths_sum() {
+        for len in [1u64, 7, 97, 1 << 19] {
+            let l = Layout::proportional(len, &[3, 1, 5]);
+            assert_eq!(l.len(), len);
+        }
+    }
+}

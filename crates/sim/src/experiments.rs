@@ -1,0 +1,159 @@
+//! Experiment drivers regenerating the paper's Tables 1 and 2 and
+//! Figure 4 on the simulated testbed.
+
+use crate::scripts::{
+    centralized_invoke, multiport_invoke, CentralizedTiming, MultiportTiming,
+};
+use crate::testbed::Testbed;
+
+/// The argument size used by the paper's tables: 2^19 doubles.
+pub const TABLE_DOUBLES: u64 = 1 << 19;
+
+/// Table 1: centralized method, server threads n ∈ {1,2,4,8} × client
+/// threads c ∈ {2,4}, 2^19 doubles.
+pub fn table1(tb: &Testbed) -> Vec<CentralizedTiming> {
+    let mut rows = Vec::new();
+    for &c in &[2usize, 4] {
+        for &n in &[1usize, 2, 4, 8] {
+            rows.push(centralized_invoke(tb, c, n, TABLE_DOUBLES * 8));
+        }
+    }
+    rows
+}
+
+/// Table 2: multi-port method, server threads n ∈ {1,2,4,8} × client
+/// threads c ∈ {1,2,4}, 2^19 doubles.
+pub fn table2(tb: &Testbed) -> Vec<MultiportTiming> {
+    let mut rows = Vec::new();
+    for &c in &[1usize, 2, 4] {
+        for &n in &[1usize, 2, 4, 8] {
+            rows.push(multiport_invoke(tb, c, n, TABLE_DOUBLES * 8));
+        }
+    }
+    rows
+}
+
+/// One point of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Point {
+    /// Sequence length in doubles.
+    pub doubles: u64,
+    /// Effective bandwidth of the centralized method, MB/s (payload
+    /// bytes over total invocation time, "including all the invocation
+    /// overhead").
+    pub centralized_mbps: f64,
+    /// Effective bandwidth of the multi-port method, MB/s.
+    pub multiport_mbps: f64,
+}
+
+/// Figure 4: effective `in`-argument bandwidth vs sequence length at the
+/// most powerful configuration considered (c = 4, n = 8), lengths
+/// 10^1 .. 10^7 doubles (three points per decade).
+pub fn figure4(tb: &Testbed) -> Vec<Fig4Point> {
+    figure4_at(tb, 4, 8)
+}
+
+/// Figure 4 sweep at an arbitrary configuration.
+pub fn figure4_at(tb: &Testbed, c: usize, n: usize) -> Vec<Fig4Point> {
+    let mut points = Vec::new();
+    let mut lens: Vec<u64> = Vec::new();
+    let mut x = 10f64;
+    while x <= 1.0e7 + 1.0 {
+        lens.push(x as u64);
+        x *= 10f64.powf(1.0 / 3.0);
+    }
+    for doubles in lens {
+        let bytes = doubles * 8;
+        let cen = centralized_invoke(tb, c, n, bytes);
+        let mp = multiport_invoke(tb, c, n, bytes);
+        points.push(Fig4Point {
+            doubles,
+            centralized_mbps: bytes as f64 / (cen.total_ns as f64 / 1e9) / 1e6,
+            multiport_mbps: bytes as f64 / (mp.total_ns as f64 / 1e9) / 1e6,
+        });
+    }
+    points
+}
+
+/// Peak effective bandwidth (MB/s, at which length in doubles) of each
+/// method over a figure-4 sweep: `(centralized, multiport)`.
+pub fn peaks(points: &[Fig4Point]) -> ((f64, u64), (f64, u64)) {
+    let mut cen = (0.0f64, 0u64);
+    let mut mp = (0.0f64, 0u64);
+    for p in points {
+        if p.centralized_mbps > cen.0 {
+            cen = (p.centralized_mbps, p.doubles);
+        }
+        if p.multiport_mbps > mp.0 {
+            mp = (p.multiport_mbps, p.doubles);
+        }
+    }
+    (cen, mp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::paper_testbed;
+
+    #[test]
+    fn table1_shape() {
+        let rows = table1(&paper_testbed());
+        assert_eq!(rows.len(), 8);
+        // Within each client group, T grows with n.
+        for g in rows.chunks(4) {
+            for w in g.windows(2) {
+                assert!(
+                    w[1].total_ns >= w[0].total_ns,
+                    "T must grow with n: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // And c=4 is slower than c=2 at equal n.
+        for i in 0..4 {
+            assert!(rows[i + 4].total_ns > rows[i].total_ns);
+        }
+    }
+
+    #[test]
+    fn table2_shape() {
+        let rows = table2(&paper_testbed());
+        assert_eq!(rows.len(), 12);
+        // The most powerful configuration is the fastest overall.
+        let best = rows.iter().map(|r| r.total_ns).min().unwrap();
+        let c4n8 = rows
+            .iter()
+            .find(|r| r.c == 4 && r.n == 8)
+            .unwrap()
+            .total_ns;
+        assert!(c4n8 <= best + best / 10);
+        // And it beats the weakest by a clear margin.
+        let c1n1 = rows
+            .iter()
+            .find(|r| r.c == 1 && r.n == 1)
+            .unwrap()
+            .total_ns;
+        assert!((c4n8 as f64) < 0.85 * c1n1 as f64);
+    }
+
+    #[test]
+    fn figure4_crossover() {
+        let pts = figure4(&paper_testbed());
+        // Small sizes: roughly equal (within 2x).
+        let small = &pts[0];
+        let r = small.multiport_mbps / small.centralized_mbps;
+        assert!((0.5..2.0).contains(&r), "{small:?}");
+        // Large sizes: multi-port clearly ahead.
+        let large = pts.iter().find(|p| p.doubles >= 1 << 19).unwrap();
+        assert!(
+            large.multiport_mbps > 1.5 * large.centralized_mbps,
+            "{large:?}"
+        );
+        // Peak bandwidths in the paper's regime.
+        let ((cen_peak, _), (mp_peak, _)) = peaks(&pts);
+        assert!(cen_peak > 5.0 && cen_peak < 16.0, "centralized {cen_peak}");
+        assert!(mp_peak > 10.0 && mp_peak < 20.0, "multiport {mp_peak}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # pardis-sim — a discrete-event model of the PARDIS 1997 testbed
+//!
+//! The paper's evaluation (§3) ran on hardware that no longer exists: a
+//! 4-processor SGI Onyx (R4400) client, a 10-processor SGI Power
+//! Challenge (R8000) server, and a dedicated 155 Mb/s ATM link with LAN
+//! Emulation, with MPICH busy-polling over shared memory inside each
+//! machine. Two of the paper's key observations are artifacts of that
+//! configuration and cannot be observed faithfully on a modern
+//! many-core host:
+//!
+//! 1. **Scheduler interference** — MPICH's spin-waiting threads compete
+//!    with the communicating thread for processors, so a thread
+//!    descheduled at a syscall resumes late; the penalty grows with the
+//!    machine's thread count (§3.2).
+//! 2. **Send interleaving** — with several concurrently active
+//!    transfers, the shared link stays busy while any one sender is
+//!    descheduled, so multi-port transfer *recovers* the wasted wire
+//!    time (§3.3: "data transfer from two separate computing threads of
+//!    the client did not happen sequentially, but was interleaved").
+//!
+//! This crate reproduces them in virtual time: per-thread clocks, a
+//! frame-serialized shared link, per-frame syscall/descheduling costs,
+//! and linear gather/scatter through communicating threads. The
+//! [`experiments`] module regenerates **Table 1**, **Table 2** and
+//! **Figure 4** of the paper; `pardis-bench` prints them.
+//!
+//! Everything is deterministic — same inputs, same virtual times.
+//!
+//! ```
+//! use pardis_sim::{scripts, testbed};
+//!
+//! let tb = testbed::paper_testbed();
+//! let len = 1 << 19; // doubles, as in the paper's tables
+//! let cen = scripts::centralized_invoke(&tb, 2, 1, len * 8);
+//! let mp  = scripts::multiport_invoke(&tb, 4, 8, len * 8);
+//! // Centralized with few resources is slower than multi-port with many.
+//! assert!(mp.total_ms() < cen.total_ms());
+//! ```
+
+pub mod block;
+pub mod engine;
+pub mod experiments;
+pub mod scripts;
+pub mod testbed;
+
+pub use engine::{Flow, Sim, SimTime, ThreadId};
+pub use testbed::{LinkParams, MachineSpec, Testbed};

@@ -1,0 +1,384 @@
+//! Invocation scripts: the two transfer methods of §3, expressed as
+//! sequences of engine primitives, with the same phase breakdown the
+//! paper's tables report.
+//!
+//! The modeled experiment is the paper's: a blocking invocation carrying
+//! **one `in` argument** (a distributed sequence of doubles), no reply
+//! payload, client and server both assuming uniform blockwise
+//! distribution unless explicit layouts are given.
+
+use crate::block::Layout;
+use crate::engine::{Flow, Sim, SimTime};
+use crate::testbed::Testbed;
+
+/// Bytes of invocation header traffic.
+const HEADER_BYTES: u64 = 256;
+/// Bytes of the (empty) reply.
+const REPLY_BYTES: u64 = 64;
+
+/// Machine indices in the scripts.
+const CLIENT: usize = 0;
+const SERVER: usize = 1;
+
+fn ms(t: SimTime) -> f64 {
+    t as f64 / 1e6
+}
+
+/// Phase breakdown of a centralized invocation (Table 1 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentralizedTiming {
+    /// Client computing threads.
+    pub c: usize,
+    /// Server computing threads.
+    pub n: usize,
+    /// Total invocation time (client side).
+    pub total_ns: SimTime,
+    /// Pack + send at the client's communicating thread (the paper's
+    /// t_ps: "the time it took to complete the process of sending").
+    pub pack_send_ns: SimTime,
+    /// Receive + unpack at the server's communicating thread (t_r).
+    pub recv_unpack_ns: SimTime,
+    /// Gathering the argument from the client's computing threads.
+    pub gather_ns: SimTime,
+    /// Scattering the argument to the server's computing threads.
+    pub scatter_ns: SimTime,
+}
+
+impl CentralizedTiming {
+    /// Total in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        ms(self.total_ns)
+    }
+    /// t_ps in milliseconds.
+    pub fn pack_send_ms(&self) -> f64 {
+        ms(self.pack_send_ns)
+    }
+    /// t_r in milliseconds.
+    pub fn recv_unpack_ms(&self) -> f64 {
+        ms(self.recv_unpack_ns)
+    }
+    /// Gather in milliseconds.
+    pub fn gather_ms(&self) -> f64 {
+        ms(self.gather_ns)
+    }
+    /// Scatter in milliseconds.
+    pub fn scatter_ms(&self) -> f64 {
+        ms(self.scatter_ns)
+    }
+}
+
+/// Phase breakdown of a multi-port invocation (Table 2 columns). The
+/// pack/unpack values are maxima over the threads involved, as in the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiportTiming {
+    /// Client computing threads.
+    pub c: usize,
+    /// Server computing threads.
+    pub n: usize,
+    /// Total invocation time (client side).
+    pub total_ns: SimTime,
+    /// Max over client threads of marshaling time.
+    pub pack_ns: SimTime,
+    /// Max over server threads of receive + unmarshal time.
+    pub unpack_recv_ns: SimTime,
+    /// Time the client's communicating thread spends in the
+    /// post-invocation (exit) barrier — the paper reads send
+    /// sequentialization vs interleaving off this column.
+    pub barrier_ns: SimTime,
+}
+
+impl MultiportTiming {
+    /// Total in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        ms(self.total_ns)
+    }
+    /// Pack in milliseconds.
+    pub fn pack_ms(&self) -> f64 {
+        ms(self.pack_ns)
+    }
+    /// Unpack+recv in milliseconds.
+    pub fn unpack_recv_ms(&self) -> f64 {
+        ms(self.unpack_recv_ns)
+    }
+    /// Exit-barrier wait in milliseconds.
+    pub fn barrier_ms(&self) -> f64 {
+        ms(self.barrier_ns)
+    }
+}
+
+/// Simulate one centralized invocation (§3.2, figure 2) carrying one
+/// `in` argument of `bytes` bytes, blockwise on both sides.
+pub fn centralized_invoke(tb: &Testbed, c: usize, n: usize, bytes: u64) -> CentralizedTiming {
+    let tb = tb.with_threads(c, n);
+    let mut sim = Sim::new(vec![tb.client.clone(), tb.server.clone()], tb.link);
+    let layout_c = Layout::block(bytes, c);
+    let layout_n = Layout::block(bytes, n);
+
+    // "the computing threads of the client first synchronize"
+    sim.barrier(CLIENT);
+    let t0 = sim.now((CLIENT, 0));
+
+    // Gather at the communicating thread through the RTS (linear).
+    for t in 1..c {
+        sim.shm_transfer((CLIENT, t), (CLIENT, 0), layout_c.count(t));
+    }
+    let gather_ns = sim.now((CLIENT, 0)) - t0;
+
+    // Marshal everything into one message and send it.
+    let ps_start = sim.now((CLIENT, 0));
+    sim.compute((CLIENT, 0), bytes, tb.client.pack_rate);
+    sim.flow_set(&[Flow {
+        src: (CLIENT, 0),
+        dst: (SERVER, 0),
+        bytes: bytes + HEADER_BYTES,
+    }]);
+    let pack_send_ns = sim.now((CLIENT, 0)) - ps_start;
+
+    // Server communicating thread unmarshals...
+    let r_start = sim.now((SERVER, 0));
+    sim.compute((SERVER, 0), bytes, tb.server.pack_rate);
+    let recv_unpack_ns = sim.now((SERVER, 0)) - r_start;
+
+    // ...and scatters to the computing threads.
+    let s_start = sim.now((SERVER, 0));
+    for t in 1..n {
+        sim.shm_transfer((SERVER, 0), (SERVER, t), layout_n.count(t));
+    }
+    let scatter_ns = sim.now((SERVER, 0)) - s_start;
+
+    // Dispatch (a no-op service), post-invocation synchronization,
+    // completion status back to the client.
+    sim.barrier(SERVER);
+    sim.small_message((SERVER, 0), (CLIENT, 0), REPLY_BYTES);
+    sim.barrier(CLIENT);
+
+    CentralizedTiming {
+        c,
+        n,
+        total_ns: sim.now((CLIENT, 0)) - t0,
+        pack_send_ns,
+        recv_unpack_ns,
+        gather_ns,
+        scatter_ns,
+    }
+}
+
+/// Simulate one multi-port invocation (§3.3, figure 3) with explicit
+/// client and server layouts (in bytes per thread).
+pub fn multiport_invoke_layouts(
+    tb: &Testbed,
+    layout_c: &Layout,
+    layout_n: &Layout,
+) -> MultiportTiming {
+    let c = layout_c.nthreads();
+    let n = layout_n.nthreads();
+    let tb = tb.with_threads(c, n);
+    let mut sim = Sim::new(vec![tb.client.clone(), tb.server.clone()], tb.link);
+    let bytes = layout_c.len();
+    debug_assert_eq!(bytes, layout_n.len());
+
+    sim.barrier(CLIENT);
+    let t0 = sim.now((CLIENT, 0));
+
+    // Invocation header, delivered centrally, then relayed to the
+    // server's computing threads so they await argument transfer.
+    sim.small_message((CLIENT, 0), (SERVER, 0), HEADER_BYTES);
+    for t in 1..n {
+        sim.shm_transfer((SERVER, 0), (SERVER, t), HEADER_BYTES);
+    }
+
+    // Every client thread marshals the part of the data it owns —
+    // in parallel.
+    let mut pack_ns: SimTime = 0;
+    for s in 0..c {
+        let p0 = sim.now((CLIENT, s));
+        sim.compute((CLIENT, s), layout_c.count(s), tb.client.pack_rate);
+        pack_ns = pack_ns.max(sim.now((CLIENT, s)) - p0);
+    }
+
+    // Direct thread-to-thread fragments, interleaving on the one link.
+    let mut flows = Vec::new();
+    for s in 0..c {
+        for (d, frag_bytes) in layout_c.transfers_to(s, layout_n) {
+            flows.push(Flow {
+                src: (CLIENT, s),
+                dst: (SERVER, d),
+                bytes: frag_bytes,
+            });
+        }
+    }
+    sim.flow_set(&flows);
+
+    // Exit barrier on the client right after the sends: the paper reads
+    // sequentialized vs interleaved sends off the communicating thread's
+    // wait here.
+    let waits = sim.barrier(CLIENT);
+    let barrier_ns = waits[0];
+
+    // Each server thread unmarshals what it received — in parallel,
+    // each over its own (smaller) chunk.
+    let mut unpack_recv_ns: SimTime = 0;
+    for t in 0..n {
+        let u0 = sim.now((SERVER, t));
+        sim.compute((SERVER, t), layout_n.count(t), tb.server.pack_rate);
+        unpack_recv_ns = unpack_recv_ns.max(sim.now((SERVER, t)) - u0);
+    }
+
+    sim.barrier(SERVER);
+    sim.small_message((SERVER, 0), (CLIENT, 0), REPLY_BYTES);
+    sim.barrier(CLIENT);
+
+    MultiportTiming {
+        c,
+        n,
+        total_ns: sim.now((CLIENT, 0)) - t0,
+        pack_ns,
+        unpack_recv_ns,
+        barrier_ns,
+    }
+}
+
+/// Simulate one multi-port invocation with uniform blockwise layouts on
+/// both sides, carrying one `in` argument of `bytes` bytes.
+pub fn multiport_invoke(tb: &Testbed, c: usize, n: usize, bytes: u64) -> MultiportTiming {
+    multiport_invoke_layouts(tb, &Layout::block(bytes, c), &Layout::block(bytes, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::paper_testbed;
+
+    const MB4: u64 = (1u64 << 19) * 8; // 2^19 doubles
+
+    #[test]
+    fn centralized_total_grows_with_client_threads() {
+        let tb = paper_testbed();
+        let t2 = centralized_invoke(&tb, 2, 1, MB4);
+        let t4 = centralized_invoke(&tb, 4, 1, MB4);
+        assert!(
+            t4.total_ns > t2.total_ns,
+            "c=4 {} !> c=2 {}",
+            t4.total_ms(),
+            t2.total_ms()
+        );
+    }
+
+    #[test]
+    fn centralized_total_grows_with_server_threads() {
+        let tb = paper_testbed();
+        let n1 = centralized_invoke(&tb, 2, 1, MB4);
+        let n8 = centralized_invoke(&tb, 2, 8, MB4);
+        assert!(n8.total_ns > n1.total_ns);
+        assert!(n8.scatter_ns > n1.scatter_ns);
+    }
+
+    #[test]
+    fn multiport_total_shrinks_with_resources() {
+        let tb = paper_testbed();
+        let small = multiport_invoke(&tb, 1, 1, MB4);
+        let big = multiport_invoke(&tb, 4, 8, MB4);
+        assert!(
+            big.total_ns < small.total_ns,
+            "c=4,n=8 {} !< c=1,n=1 {}",
+            big.total_ms(),
+            small.total_ms()
+        );
+    }
+
+    #[test]
+    fn multiport_never_loses_to_centralized() {
+        // The paper: "we have not found a case in which it would
+        // underperform the centralized method."
+        let tb = paper_testbed();
+        for (c, n) in [(1, 1), (2, 1), (2, 4), (4, 8), (1, 8), (4, 1)] {
+            let cen = centralized_invoke(&tb, c, n, MB4);
+            let mp = multiport_invoke(&tb, c, n, MB4);
+            assert!(
+                mp.total_ns <= cen.total_ns + cen.total_ns / 20,
+                "c={c} n={n}: mp {} vs cen {}",
+                mp.total_ms(),
+                cen.total_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn sequentialized_sends_show_in_exit_barrier() {
+        // c=2, n=1: both client threads feed the single server thread,
+        // whose ordered receives sequentialize them; the thread that
+        // finished first waits roughly half the send in the barrier.
+        let tb = paper_testbed();
+        let t = multiport_invoke(&tb, 2, 1, MB4);
+        assert!(
+            t.barrier_ns > t.total_ns / 5,
+            "expected a large exit-barrier wait, got {} of {}",
+            t.barrier_ms(),
+            t.total_ms()
+        );
+        // c=2, n=2: independent destinations interleave; the barrier
+        // wait collapses.
+        let t22 = multiport_invoke(&tb, 2, 2, MB4);
+        assert!(
+            t22.barrier_ns < t.barrier_ns / 4,
+            "interleaved sends should synchronize: {} vs {}",
+            t22.barrier_ms(),
+            t.barrier_ms()
+        );
+    }
+
+    #[test]
+    fn pack_time_drops_with_more_client_threads() {
+        let tb = paper_testbed();
+        let p1 = multiport_invoke(&tb, 1, 4, MB4).pack_ns;
+        let p4 = multiport_invoke(&tb, 4, 4, MB4).pack_ns;
+        assert!(p4 * 3 < p1, "pack should parallelize: {p1} -> {p4}");
+    }
+
+    #[test]
+    fn uneven_split_is_comparable() {
+        // §3.3: "cases when the sequence is split unevenly are of
+        // comparable efficiency".
+        let tb = paper_testbed();
+        let even = multiport_invoke(&tb, 4, 8, MB4);
+        let uneven = multiport_invoke_layouts(
+            &tb,
+            &Layout::block(MB4, 4),
+            &Layout::proportional(MB4, &[2, 4, 2, 4, 2, 4, 2, 4]),
+        );
+        let ratio = uneven.total_ns as f64 / even.total_ns as f64;
+        assert!(
+            (0.8..1.4).contains(&ratio),
+            "uneven/even ratio {ratio} out of range ({} vs {} ms)",
+            uneven.total_ms(),
+            even.total_ms()
+        );
+    }
+
+    #[test]
+    fn small_messages_make_methods_comparable() {
+        // Figure 4: for small data sizes the two methods perform nearly
+        // the same.
+        let tb = paper_testbed();
+        let small = 80; // 10 doubles
+        let cen = centralized_invoke(&tb, 4, 8, small);
+        let mp = multiport_invoke(&tb, 4, 8, small);
+        let ratio = cen.total_ns as f64 / mp.total_ns as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "small-size ratio {ratio} ({} vs {} ms)",
+            cen.total_ms(),
+            mp.total_ms()
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let tb = paper_testbed();
+        assert_eq!(
+            multiport_invoke(&tb, 3, 5, MB4),
+            multiport_invoke(&tb, 3, 5, MB4)
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Machine and link descriptions, including the paper's testbed.
+//!
+//! Constants below are calibrated so the simulator lands in the same
+//! regime as the paper's Tables 1 and 2 (hundreds of milliseconds for a
+//! 2^19-double argument, ~10 MB/s centralized effective bandwidth).
+//! Absolute agreement is not the goal — the authors' exact software
+//! stack is gone — but the *shape* of every trend is: see
+//! `EXPERIMENTS.md` at the repository root.
+
+/// Description of one parallel machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Display name.
+    pub name: String,
+    /// Physical processors.
+    pub processors: usize,
+    /// Computing threads of the SPMD program running on it.
+    pub threads: usize,
+    /// Marshaling (pack/unpack) rate, bytes/sec.
+    pub pack_rate: f64,
+    /// Shared-memory copy rate for RTS transfers, bytes/sec.
+    pub shm_rate: f64,
+    /// Per-message latency of an RTS shared-memory transfer.
+    pub shm_latency_ns: u64,
+    /// Fixed syscall cost paid by an endpoint per network frame.
+    pub syscall_ns: u64,
+    /// Extra descheduling penalty per frame when the machine is
+    /// oversubscribed: paid when `threads + background_load >
+    /// processors` (the §3.2 scheduler-interference step).
+    pub desched_step_ns: u64,
+    /// Smooth per-thread slope of the descheduling penalty (models
+    /// growing run-queue pressure even below full subscription).
+    pub desched_slope_ns: u64,
+    /// System daemons etc. competing for processors.
+    pub background_load: usize,
+}
+
+impl MachineSpec {
+    /// The per-frame endpoint cost: syscall plus scheduler-interference
+    /// penalties. MPICH's busy-polling makes *every* computing thread
+    /// runnable, so pressure scales with the thread count, with a step
+    /// once the machine is oversubscribed.
+    pub fn per_frame_cost_ns(&self) -> u64 {
+        let over = (self.threads + self.background_load).saturating_sub(self.processors) as u64;
+        self.syscall_ns
+            + self.desched_slope_ns * (self.threads.saturating_sub(1)) as u64
+            + self.desched_step_ns * over
+    }
+}
+
+/// Shared-link characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Usable bandwidth, bytes/sec of wire time.
+    pub bandwidth: f64,
+    /// One-way message latency.
+    pub latency_ns: u64,
+    /// Frame payload bytes (ATM AAL5 LANE: 9180).
+    pub mtu: u64,
+    /// Wire overhead charged per frame (cell headers and LANE
+    /// encapsulation).
+    pub per_frame_overhead: u64,
+}
+
+/// A client machine, a server machine, one link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Testbed {
+    /// The client machine (threads set per experiment).
+    pub client: MachineSpec,
+    /// The server machine (threads set per experiment).
+    pub server: MachineSpec,
+    /// The shared link.
+    pub link: LinkParams,
+}
+
+impl Testbed {
+    /// Copy with the given client/server thread counts.
+    pub fn with_threads(&self, c: usize, n: usize) -> Testbed {
+        let mut tb = self.clone();
+        tb.client.threads = c;
+        tb.server.threads = n;
+        tb
+    }
+}
+
+/// The paper's testbed: a 4-processor SGI Onyx R4400 client, a
+/// 10-processor SGI Power Challenge R8000 server, one dedicated
+/// 155 Mb/s ATM link with LAN Emulation.
+pub fn paper_testbed() -> Testbed {
+    Testbed {
+        client: MachineSpec {
+            name: "SGI Onyx R4400 (client)".into(),
+            processors: 4,
+            threads: 1,
+            // R4400-era memcpy with marshaling logic on top.
+            pack_rate: 85.0e6,
+            shm_rate: 90.0e6,
+            shm_latency_ns: 30_000,
+            syscall_ns: 45_000,
+            // Oversubscription on the 4-way Onyx hurts badly: the
+            // communicating thread competes with spinning peers.
+            desched_step_ns: 290_000,
+            desched_slope_ns: 4_000,
+            background_load: 1,
+        },
+        server: MachineSpec {
+            name: "SGI Power Challenge R8000 (server)".into(),
+            processors: 10,
+            threads: 1,
+            pack_rate: 110.0e6,
+            shm_rate: 120.0e6,
+            shm_latency_ns: 25_000,
+            syscall_ns: 40_000,
+            desched_step_ns: 290_000,
+            // 10 processors: below the step for n <= 8, but run-queue
+            // pressure still grows slightly with thread count.
+            desched_slope_ns: 4_500,
+            background_load: 1,
+        },
+        link: LinkParams {
+            // 155 Mb/s SONET minus ATM cell tax and LANE ≈ 16.5 MB/s of
+            // usable payload bandwidth.
+            bandwidth: 16.5e6,
+            latency_ns: 900_000,
+            mtu: 9180,
+            per_frame_overhead: 432,
+        },
+    }
+}
+
+/// A present-day testbed for the counterfactual ablation: many cores
+/// (no oversubscription at the paper's thread counts), memory systems
+/// three orders of magnitude faster, cheap syscalls, a 10 GbE-class
+/// link. Running the paper's experiments here shows which effects were
+/// artifacts of 1997 hardware.
+pub fn modern_testbed() -> Testbed {
+    Testbed {
+        client: MachineSpec {
+            name: "modern many-core (client)".into(),
+            processors: 32,
+            threads: 1,
+            pack_rate: 8.0e9,
+            shm_rate: 12.0e9,
+            shm_latency_ns: 500,
+            syscall_ns: 1_500,
+            desched_step_ns: 20_000,
+            desched_slope_ns: 50,
+            background_load: 1,
+        },
+        server: MachineSpec {
+            name: "modern many-core (server)".into(),
+            processors: 32,
+            threads: 1,
+            pack_rate: 8.0e9,
+            shm_rate: 12.0e9,
+            shm_latency_ns: 500,
+            syscall_ns: 1_500,
+            desched_step_ns: 20_000,
+            desched_slope_ns: 50,
+            background_load: 1,
+        },
+        link: LinkParams {
+            bandwidth: 1.1e9, // ~10 GbE payload rate
+            latency_ns: 30_000,
+            mtu: 9000, // jumbo frames
+            per_frame_overhead: 60,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modern_testbed_has_no_oversubscription_step() {
+        let tb = modern_testbed();
+        let mut m = tb.client.clone();
+        m.threads = 8;
+        // 8 + 1 << 32 processors: only the tiny slope applies.
+        assert!(m.per_frame_cost_ns() < 10_000);
+    }
+
+    #[test]
+    fn per_frame_cost_steps_at_oversubscription() {
+        let tb = paper_testbed();
+        let mut m = tb.client.clone();
+        m.threads = 2; // 2 + 1 bg <= 4 processors: no step
+        let base = m.per_frame_cost_ns();
+        m.threads = 4; // 4 + 1 bg > 4: one step
+        let over = m.per_frame_cost_ns();
+        assert!(over > base + m.desched_step_ns / 2);
+    }
+
+    #[test]
+    fn server_stays_below_step_through_eight() {
+        let tb = paper_testbed();
+        let mut m = tb.server.clone();
+        m.threads = 8;
+        let c8 = m.per_frame_cost_ns();
+        m.threads = 1;
+        let c1 = m.per_frame_cost_ns();
+        // Growth is smooth-slope only.
+        assert_eq!(c8 - c1, 7 * m.desched_slope_ns);
+    }
+
+    #[test]
+    fn with_threads_copies() {
+        let tb = paper_testbed().with_threads(4, 8);
+        assert_eq!(tb.client.threads, 4);
+        assert_eq!(tb.server.threads, 8);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's evaluation scenario as a runnable program: a parallel
+//! client on one machine invoking `diffusion` on an SPMD object on
+//! another, over a single rate-limited link, comparing the **centralized**
+//! (§3.2) and **multi-port** (§3.3) argument transfer methods.
+//!
+//! ```text
+//! cargo run --release --example diffusion -- [clients] [servers] [log2_len] [steps]
+//! e.g.  cargo run --release --example diffusion -- 4 8 17 4
+//! ```
+//!
+//! With the default ATM-like link the multi-port method should win for
+//! large sequences, exactly as the paper's figure 4 shows.
+
+use pardis::apps::diffusion::{hot_spot, reference_diffusion, DiffusionServant};
+use pardis::prelude::*;
+use pardis::stubs::diffusion::{diff_objectProxy, diff_objectSkeleton};
+use std::time::Instant;
+
+fn arg(n: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let clients = arg(1, 4);
+    let servers = arg(2, 8);
+    let log2_len = arg(3, 15);
+    let steps = arg(4, 2);
+    let len = 1usize << log2_len;
+
+    // A faster-than-ATM link so the example completes quickly; scale
+    // with PARDIS_LINK_SCALE=1.0 for the authentic 17 MB/s experience.
+    let scale: f64 = std::env::var("PARDIS_LINK_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8.0);
+    let link = LinkSpec::atm_155().scaled(scale);
+
+    println!(
+        "diffusion example: c={clients} client threads, n={servers} server threads, \
+         2^{log2_len} = {len} doubles, {steps} steps, link ≈ {:.1} MB/s",
+        link.bandwidth.unwrap_or(f64::INFINITY) / 1e6
+    );
+
+    let world = World::new(link);
+
+    let server = world.spawn_machine("challenge", servers, |ctx| {
+        diff_objectSkeleton::register(&ctx, "example", DiffusionServant::new(), vec![])
+            .expect("register");
+        ctx.serve_forever().expect("serve");
+    });
+
+    let client = world.spawn_machine("onyx", clients, move |ctx| {
+        let mut diff =
+            diff_objectProxy::_spmd_bind(&ctx, "example", Some("challenge")).expect("bind");
+
+        // Sequential reference for validation.
+        let golden = {
+            let mut g = hot_spot(len);
+            reference_diffusion(&mut g, steps);
+            g
+        };
+
+        for mode in [TransferMode::Centralized, TransferMode::MultiPort] {
+            diff._set_transfer_mode(mode).expect("set mode");
+
+            let global = hot_spot(len);
+            let mut arr = DSequence::<f64>::new(ctx.rts(), len, None).expect("dseq");
+            let range = arr.local_range();
+            arr.local_data_mut().copy_from_slice(&global[range.clone()]);
+
+            ctx.rts().barrier();
+            let t0 = Instant::now();
+            diff.diffusion(&ctx, steps as i32, &mut arr).expect("invoke");
+            let elapsed = t0.elapsed();
+
+            // Validate this thread's slice against the reference.
+            for (got, want) in arr.local_data().iter().zip(&golden[range]) {
+                assert!((got - want).abs() < 1e-9, "mode {mode:?} mismatch");
+            }
+
+            // Report the max across threads from the communicating one.
+            let max_s = ctx
+                .rts()
+                .allreduce_f64(&[elapsed.as_secs_f64()], pardis_rts::ReduceOp::Max)
+                .expect("reduce")[0];
+            if ctx.is_comm_thread() {
+                let mb = (len * 8) as f64 / 1e6;
+                println!(
+                    "  {mode:<12?}  T = {:8.2} ms   effective {:6.2} MB/s (in+out {:.1} MB)",
+                    max_s * 1e3,
+                    2.0 * mb / max_s, // inout: data crosses twice
+                    2.0 * mb
+                );
+            }
+        }
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(diff.proxy.objref()).expect("shutdown");
+        }
+    });
+
+    client.join();
+    server.join();
+    println!("results validated against the sequential reference");
+}

@@ -1,0 +1,101 @@
+//! A multi-application scenario with a monitoring unit (§2.1: "more
+//! complex interactions composed of multiple parallel applications, as
+//! well as units visualizing or otherwise monitoring their progress"),
+//! exercising oneway operations and futures:
+//!
+//! * `vectors` — a 4-thread SPMD vector service,
+//! * `monitor` — a 1-thread visualization/monitoring unit,
+//! * a 2-thread client running a little iterative solver that offloads
+//!   dot products to the service with **non-blocking invocations**,
+//!   overlapping them with local work, and streams progress to the
+//!   monitor with **oneway** reports.
+//!
+//! Run with: `cargo run --example monitor_pipeline`
+
+use pardis::apps::vector::{MonitorServant, VectorServant};
+use pardis::prelude::*;
+use pardis::stubs::simulation::pardis_demo::{
+    monitorProxy, monitorSkeleton, vector_serviceProxy, vector_serviceSkeleton,
+};
+
+fn main() {
+    let world = World::new(LinkSpec::unlimited());
+
+    let svc = world.spawn_machine("vectors", 4, |ctx| {
+        vector_serviceSkeleton::register(&ctx, "vectors", VectorServant::new(), vec![])
+            .expect("register");
+        ctx.serve_forever().expect("serve");
+    });
+
+    let monitor = world.spawn_machine("monitor", 1, |ctx| {
+        monitorSkeleton::register(&ctx, "monitor", MonitorServant::new(), vec![])
+            .expect("register");
+        ctx.serve_forever().expect("serve");
+    });
+
+    let client = world.spawn_machine("solver", 2, |ctx| {
+        let vectors = vector_serviceProxy::_spmd_bind(&ctx, "vectors", None).expect("bind svc");
+        // The monitor is driven from the communicating thread only,
+        // through a per-thread binding.
+        let mon = if ctx.is_comm_thread() {
+            Some(monitorProxy::_bind(&ctx, "monitor", None).expect("bind monitor"))
+        } else {
+            None
+        };
+
+        let len = 4096;
+        let mut v = DSequence::<f64>::new(ctx.rts(), len, None).expect("dseq");
+        let off = v.local_range().start;
+        for (i, x) in v.local_data_mut().iter_mut().enumerate() {
+            *x = 1.0 / (1.0 + (off + i) as f64);
+        }
+
+        let mut norm2 = 0.0;
+        for iter in 0..5 {
+            // Kick off the dot product without blocking…
+            let fut = vectors.dot_nb(&ctx, &v, &v).expect("dot_nb");
+            // …overlap with local work (the paper's motivation for
+            // futures)…
+            let local_work: f64 = v.local_data().iter().map(|x| x.abs()).sum();
+            // …then collect the remote result.
+            norm2 = fut.wait().expect("dot future").ret;
+
+            // Rescale the vector remotely (collective inout).
+            let mut v2 = v.clone();
+            vectors
+                .scale(&ctx, 1.0 / norm2.sqrt(), &mut v2)
+                .expect("scale");
+            v = v2;
+
+            // Stream progress; oneway, so this never blocks the solver.
+            if let Some(mon) = &mon {
+                mon.report(&ctx, &format!("iter-{iter}"), norm2)
+                    .expect("report");
+                let _ = local_work;
+            }
+        }
+
+        // After normalization the norm should converge to 1.
+        if ctx.is_comm_thread() {
+            println!("final ||v||^2 = {norm2:.6}");
+            let mon = mon.expect("comm thread bound the monitor");
+            // oneway reports are asynchronous: poll the readonly
+            // attribute until all five have landed.
+            loop {
+                let n = mon._get_reports_received(&ctx).expect("attr");
+                if n >= 5 {
+                    println!("monitor received {n} progress reports");
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            ctx.send_shutdown(vectors.proxy.objref()).expect("shutdown svc");
+            ctx.send_shutdown(mon.proxy.objref()).expect("shutdown monitor");
+        }
+    });
+
+    client.join();
+    svc.join();
+    monitor.join();
+    println!("monitor_pipeline OK");
+}

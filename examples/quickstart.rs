@@ -1,0 +1,61 @@
+//! Quickstart: the paper's §2.1 scenario in ~60 lines.
+//!
+//! Parallel application A computes a diffusion simulation on an array
+//! distributed over the nodes it executes on; parallel application B
+//! wants to compute diffusion on its own data using A. A becomes an SPMD
+//! object (`diff_object`), B its collective client.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pardis::apps::diffusion::{hot_spot, DiffusionServant};
+use pardis::prelude::*;
+use pardis::stubs::diffusion::{diff_objectProxy, diff_objectSkeleton};
+
+fn main() {
+    // One shared (unthrottled) link between the machines, one naming
+    // domain — the smallest possible PARDIS world.
+    let world = World::new(LinkSpec::unlimited());
+
+    // Application A: a 4-thread SPMD object on HOST1.
+    let server = world.spawn_machine("HOST1", 4, |ctx| {
+        diff_objectSkeleton::register(&ctx, "example", DiffusionServant::new(), vec![])
+            .expect("register diffusion object");
+        ctx.serve_forever().expect("serve");
+    });
+
+    // Application B: a 2-thread SPMD client on HOST2.
+    let client = world.spawn_machine("HOST2", 2, |ctx| {
+        // As in the paper:
+        //   diff_object* diff = diff_object::_spmd_bind("example", HOST1);
+        //   diff->diffusion(64, my_diff_array);
+        let diff = diff_objectProxy::_spmd_bind(&ctx, "example", Some("HOST1"))
+            .expect("bind to the diffusion object");
+
+        // Build a distributed sequence: a hot spot in a cold bar,
+        // blockwise-distributed over B's two computing threads.
+        let len = 1 << 12;
+        let global = hot_spot(len);
+        let mut my_diff_array = DSequence::<f64>::new(ctx.rts(), len, None).expect("dseq");
+        let range = my_diff_array.local_range();
+        my_diff_array
+            .local_data_mut()
+            .copy_from_slice(&global[range]);
+
+        let heat_before: f64 = global.iter().sum();
+        diff.diffusion(&ctx, 64, &mut my_diff_array).expect("invoke diffusion");
+        let heat_after = diff.total_heat(&ctx, &my_diff_array).expect("total_heat");
+        let steps = diff._get_steps_completed(&ctx).expect("attribute read");
+
+        if ctx.is_comm_thread() {
+            println!("ran 64 diffusion steps on a {len}-element distributed array");
+            println!("heat before = {heat_before:.3}, after = {heat_after:.3} (conserved)");
+            println!("server reports steps_completed = {steps}");
+            assert!((heat_before - heat_after).abs() < 1e-6);
+            ctx.send_shutdown(diff.proxy.objref()).expect("shutdown");
+        }
+    });
+
+    client.join();
+    server.join();
+    println!("quickstart OK");
+}

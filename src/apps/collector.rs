@@ -1,0 +1,110 @@
+//! Servant for `examples/idl/types.idl`: a sample collector exercising
+//! the non-distributed parts of the IDL mapping (structs, enums,
+//! sequences, exceptions, attributes, oneway).
+
+use crate::stubs::types::typetest::{bad_sample, collectorImpl, Batch, Mode, Sample};
+use pardis_core::{OrbCtx, PardisError, PardisResult};
+
+/// Collects [`Sample`]s; rejects invalid ones with the IDL exception.
+#[derive(Debug)]
+pub struct CollectorServant {
+    samples: Vec<Sample>,
+    mode: Mode,
+    threshold: f64,
+    total_added: i32,
+}
+
+impl Default for CollectorServant {
+    fn default() -> Self {
+        CollectorServant {
+            samples: Vec::new(),
+            mode: Mode::SAFE,
+            threshold: 0.5,
+            total_added: 0,
+        }
+    }
+}
+
+impl CollectorServant {
+    /// Create an empty collector.
+    pub fn new() -> CollectorServant {
+        CollectorServant::default()
+    }
+}
+
+impl collectorImpl for CollectorServant {
+    fn add(&mut self, _ctx: &OrbCtx, s: &Sample) -> PardisResult<i32> {
+        if !s.valid {
+            return Err(PardisError::UserException(bad_sample::NAME.into()));
+        }
+        self.samples.push(s.clone());
+        self.total_added += 1;
+        Ok(self.samples.len() as i32)
+    }
+
+    fn stats(
+        &mut self,
+        _ctx: &OrbCtx,
+        running_mean: &mut f64,
+        count: &mut i32,
+    ) -> PardisResult<()> {
+        *count = self.samples.len() as i32;
+        let sum: f64 = self.samples.iter().map(|s| s.value).sum();
+        let mean = if self.samples.is_empty() {
+            0.0
+        } else {
+            sum / self.samples.len() as f64
+        };
+        // inout semantics: blend the caller's running mean with ours.
+        *running_mean = (*running_mean + mean) / 2.0;
+        Ok(())
+    }
+
+    fn summarize(&mut self, _ctx: &OrbCtx, label: &str) -> PardisResult<Batch> {
+        Ok(Batch {
+            label: label.to_string(),
+            values: self.samples.iter().map(|s| s.value).collect(),
+        })
+    }
+
+    fn dump(&mut self, _ctx: &OrbCtx) -> PardisResult<Vec<Sample>> {
+        Ok(self.samples.clone())
+    }
+
+    fn set_mode(&mut self, _ctx: &OrbCtx, m: Mode) -> PardisResult<()> {
+        self.mode = m;
+        Ok(())
+    }
+
+    fn mode(&mut self, _ctx: &OrbCtx) -> PardisResult<Mode> {
+        Ok(self.mode)
+    }
+
+    fn checksum(&mut self, _ctx: &OrbCtx, data: &[u8]) -> PardisResult<u64> {
+        // FNV-1a, deterministic across both sides.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Ok(h)
+    }
+
+    fn reset(&mut self, _ctx: &OrbCtx) -> PardisResult<()> {
+        self.samples.clear();
+        Ok(())
+    }
+
+    fn _get_total_added(&mut self, _ctx: &OrbCtx) -> PardisResult<i32> {
+        Ok(self.total_added)
+    }
+
+    fn _get_threshold(&mut self, _ctx: &OrbCtx) -> PardisResult<f64> {
+        Ok(self.threshold)
+    }
+
+    fn _set_threshold(&mut self, _ctx: &OrbCtx, value: f64) -> PardisResult<()> {
+        self.threshold = value;
+        Ok(())
+    }
+}

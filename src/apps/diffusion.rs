@@ -1,0 +1,149 @@
+//! The paper's running example: a parallel diffusion simulation exposed
+//! as an SPMD object.
+//!
+//! Each computing thread of the server owns a block of the diffusion
+//! array; one timestep is a 3-point stencil with nearest-neighbour halo
+//! exchange over the PARDIS run-time system interface — a genuinely
+//! parallel computation, not a mock.
+
+use crate::stubs::diffusion::{diff_objectImpl, diffusion_failed};
+use pardis_core::{DSequence, OrbCtx, PardisError, PardisResult};
+use pardis_rts::Endpoint;
+
+/// Tag space for the halo exchange (user tags, below the RTS reserved
+/// range).
+const HALO_LEFT: u32 = 0x1001;
+const HALO_RIGHT: u32 = 0x1002;
+
+/// One computing thread's share of the diffusion object.
+#[derive(Debug, Default)]
+pub struct DiffusionServant {
+    steps_completed: i32,
+}
+
+impl DiffusionServant {
+    /// Create a fresh servant (register one per computing thread).
+    pub fn new() -> DiffusionServant {
+        DiffusionServant::default()
+    }
+}
+
+impl diff_objectImpl for DiffusionServant {
+    fn diffusion(
+        &mut self,
+        ctx: &OrbCtx,
+        timestep: i32,
+        darray: &mut DSequence<f64>,
+    ) -> PardisResult<()> {
+        if timestep < 0 {
+            // The IDL-declared exception.
+            return Err(PardisError::UserException(diffusion_failed::NAME.into()));
+        }
+        diffuse_steps(ctx.rts(), darray, timestep as usize)?;
+        self.steps_completed += timestep;
+        Ok(())
+    }
+
+    fn total_heat(&mut self, ctx: &OrbCtx, darray: &DSequence<f64>) -> PardisResult<f64> {
+        let local: f64 = darray.local_data().iter().sum();
+        Ok(ctx
+            .rts()
+            .allreduce_f64(&[local], pardis_rts::ReduceOp::Sum)
+            .map_err(PardisError::from)?[0])
+    }
+
+    fn _get_steps_completed(&mut self, _ctx: &OrbCtx) -> PardisResult<i32> {
+        Ok(self.steps_completed)
+    }
+}
+
+/// Run `steps` diffusion timesteps over a distributed array, exchanging
+/// one-element halos with block neighbours each step. The stencil is
+/// `u[i] <- u[i-1]/4 + u[i]/2 + u[i+1]/4` with reflecting boundaries, so
+/// total heat is conserved.
+pub fn diffuse_steps(rts: &Endpoint, arr: &mut DSequence<f64>, steps: usize) -> PardisResult<()> {
+    let rank = rts.rank();
+    let size = rts.size();
+    for _ in 0..steps {
+        let local = arr.local_data_mut();
+        let n = local.len();
+        let left_edge = local.first().copied().unwrap_or(0.0);
+        let right_edge = local.last().copied().unwrap_or(0.0);
+        // Post sends first; the in-process RTS buffers them, so this
+        // cannot deadlock regardless of rank order.
+        if rank > 0 {
+            rts.send(
+                rank - 1,
+                HALO_LEFT,
+                bytes::Bytes::copy_from_slice(&left_edge.to_le_bytes()),
+            )
+            .map_err(PardisError::from)?;
+        }
+        if rank + 1 < size {
+            rts.send(
+                rank + 1,
+                HALO_RIGHT,
+                bytes::Bytes::copy_from_slice(&right_edge.to_le_bytes()),
+            )
+            .map_err(PardisError::from)?;
+        }
+        let mut left_halo = None;
+        let mut right_halo = None;
+        if rank + 1 < size {
+            let b = rts.recv(rank + 1, HALO_LEFT).map_err(PardisError::from)?;
+            right_halo = Some(f64::from_le_bytes(b[..8].try_into().expect("8 bytes")));
+        }
+        if rank > 0 {
+            let b = rts.recv(rank - 1, HALO_RIGHT).map_err(PardisError::from)?;
+            left_halo = Some(f64::from_le_bytes(b[..8].try_into().expect("8 bytes")));
+        }
+        if n == 0 {
+            continue;
+        }
+        let old = local.to_vec();
+        for i in 0..n {
+            let l = if i == 0 {
+                left_halo.unwrap_or(old[0])
+            } else {
+                old[i - 1]
+            };
+            let r = if i == n - 1 {
+                right_halo.unwrap_or(old[n - 1])
+            } else {
+                old[i + 1]
+            };
+            local[i] = 0.25 * l + 0.5 * old[i] + 0.25 * r;
+        }
+    }
+    Ok(())
+}
+
+/// Sequential reference implementation, for verification.
+pub fn reference_diffusion(data: &mut [f64], steps: usize) {
+    let n = data.len();
+    for _ in 0..steps {
+        let old = data.to_vec();
+        for i in 0..n {
+            let l = if i == 0 { old[0] } else { old[i - 1] };
+            let r = if i == n - 1 { old[n - 1] } else { old[i + 1] };
+            data[i] = 0.25 * l + 0.5 * old[i] + 0.25 * r;
+        }
+    }
+}
+
+/// Workload generator: a hot spot in the middle of a cold bar, the
+/// classic diffusion initial condition.
+pub fn hot_spot(len: usize) -> Vec<f64> {
+    let mut v = vec![0.0; len];
+    if len > 0 {
+        let mid = len / 2;
+        v[mid] = 100.0;
+        if mid > 0 {
+            v[mid - 1] = 50.0;
+        }
+        if mid + 1 < len {
+            v[mid + 1] = 50.0;
+        }
+    }
+    v
+}

@@ -1,0 +1,10 @@
+//! Example servant implementations shared by the runnable examples,
+//! integration tests, and benchmarks.
+//!
+//! Each submodule implements one of the IDL interfaces in
+//! `examples/idl/` using the build-time-generated stubs in
+//! [`crate::stubs`].
+
+pub mod collector;
+pub mod diffusion;
+pub mod vector;

@@ -1,0 +1,123 @@
+//! Servants for `examples/idl/simulation.idl`: a parallel vector
+//! service and a monitoring unit.
+
+use crate::stubs::simulation::pardis_demo::{monitorImpl, vector_serviceImpl, Stats};
+use pardis_core::{DSequence, OrbCtx, PardisError, PardisResult};
+use pardis_rts::ReduceOp;
+
+/// One computing thread's share of the vector service.
+#[derive(Debug, Default)]
+pub struct VectorServant;
+
+impl VectorServant {
+    /// Create a fresh servant.
+    pub fn new() -> VectorServant {
+        VectorServant
+    }
+}
+
+fn allreduce(ctx: &OrbCtx, v: f64, op: ReduceOp) -> PardisResult<f64> {
+    Ok(ctx
+        .rts()
+        .allreduce_f64(&[v], op)
+        .map_err(PardisError::from)?[0])
+}
+
+impl vector_serviceImpl for VectorServant {
+    fn dot(
+        &mut self,
+        ctx: &OrbCtx,
+        a: &DSequence<f64>,
+        b: &DSequence<f64>,
+    ) -> PardisResult<f64> {
+        if a.len() != b.len() {
+            return Err(PardisError::BadDistArg(format!(
+                "dot of length {} with length {}",
+                a.len(),
+                b.len()
+            )));
+        }
+        let local: f64 = a
+            .local_data()
+            .iter()
+            .zip(b.local_data())
+            .map(|(x, y)| x * y)
+            .sum();
+        allreduce(ctx, local, ReduceOp::Sum)
+    }
+
+    fn scale(&mut self, _ctx: &OrbCtx, factor: f64, v: &mut DSequence<f64>) -> PardisResult<()> {
+        for x in v.local_data_mut() {
+            *x *= factor;
+        }
+        Ok(())
+    }
+
+    fn stats(&mut self, ctx: &OrbCtx, v: &DSequence<f64>) -> PardisResult<Stats> {
+        let (mut lmin, mut lmax, mut lsum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for &x in v.local_data() {
+            lmin = lmin.min(x);
+            lmax = lmax.max(x);
+            lsum += x;
+        }
+        let min = allreduce(ctx, lmin, ReduceOp::Min)?;
+        let max = allreduce(ctx, lmax, ReduceOp::Max)?;
+        let sum = allreduce(ctx, lsum, ReduceOp::Sum)?;
+        let n = v.len().max(1) as f64;
+        Ok(Stats {
+            min,
+            max,
+            mean: sum / n,
+        })
+    }
+
+    fn axpy(
+        &mut self,
+        _ctx: &OrbCtx,
+        alpha: f64,
+        x: &DSequence<f64>,
+        y: &mut DSequence<f64>,
+    ) -> PardisResult<()> {
+        if x.len() != y.len() {
+            return Err(PardisError::BadDistArg(format!(
+                "axpy of length {} with length {}",
+                x.len(),
+                y.len()
+            )));
+        }
+        for (yi, xi) in y.local_data_mut().iter_mut().zip(x.local_data()) {
+            *yi += alpha * xi;
+        }
+        Ok(())
+    }
+}
+
+/// The monitoring unit: counts and remembers progress reports. Usually a
+/// 1-thread object, but works SPMD too.
+#[derive(Debug, Default)]
+pub struct MonitorServant {
+    reports: Vec<(String, f64)>,
+}
+
+impl MonitorServant {
+    /// Create a fresh monitor.
+    pub fn new() -> MonitorServant {
+        MonitorServant::default()
+    }
+
+    /// Reports received so far (inspection for tests).
+    pub fn reports(&self) -> &[(String, f64)] {
+        &self.reports
+    }
+}
+
+impl monitorImpl for MonitorServant {
+    fn report(&mut self, _ctx: &OrbCtx, stage: &str, value: f64) -> PardisResult<()> {
+        self.reports.push((stage.to_string(), value));
+        Ok(())
+    }
+
+    fn _get_reports_received(&mut self, _ctx: &OrbCtx) -> PardisResult<i32> {
+        Ok(self.reports.len() as i32)
+    }
+}

@@ -1,0 +1,89 @@
+//! # pardis — a parallel approach to CORBA
+//!
+//! A from-scratch Rust reproduction of **PARDIS** (Katarzyna Keahey and
+//! Dennis Gannon, *PARDIS: A Parallel Approach to CORBA*, HPDC 1997):
+//! CORBA-style middleware extended with **SPMD objects** and
+//! **distributed sequences**, so that a request broker can interact
+//! directly with the distributed resources of parallel applications.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`pardis_core`] — the ORB: SPMD objects, distributed sequences,
+//!   futures, naming, and the two distributed-argument transfer methods
+//!   (centralized §3.2 and multi-port §3.3),
+//! * [`pardis_idl`] — the IDL compiler (CORBA IDL + `dsequence`),
+//! * [`pardis_rts`] — the generic run-time system interface (MPI-like),
+//! * [`pardis_net`] — hosts, ports, rate-limited links, GIOP-style
+//!   messages, object references,
+//! * [`pardis_cdr`] — CDR marshaling,
+//! * [`pardis_sim`] — a discrete-event simulator of the paper's 1997
+//!   testbed that regenerates its tables and figure,
+//! * [`stubs`] — Rust stubs generated **at build time** from the IDL
+//!   files in `examples/idl/` (see `build.rs`),
+//! * [`apps`] — the example servant implementations shared by the
+//!   runnable examples, tests, and benchmarks.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use pardis::prelude::*;
+//! use pardis::apps::diffusion::DiffusionServant;
+//! use pardis::stubs::diffusion::{diff_objectProxy, diff_objectSkeleton};
+//!
+//! let world = World::new(LinkSpec::unlimited());
+//! // Parallel application A: a 4-thread SPMD diffusion object.
+//! let server = world.spawn_machine("HOST1", 4, |ctx| {
+//!     diff_objectSkeleton::register(&ctx, "example", DiffusionServant::new(), vec![]).unwrap();
+//!     ctx.serve_forever().unwrap();
+//! });
+//! // Parallel application B: a 2-thread SPMD client.
+//! let client = world.spawn_machine("HOST2", 2, |ctx| {
+//!     let diff = diff_objectProxy::_spmd_bind(&ctx, "example", Some("HOST1")).unwrap();
+//!     let mut my_diff_array = DSequence::<f64>::new(ctx.rts(), 64, None).unwrap();
+//!     for x in my_diff_array.local_data_mut() { *x = 1.0; }
+//!     diff.diffusion(&ctx, 8, &mut my_diff_array).unwrap();
+//!     let heat = diff.total_heat(&ctx, &my_diff_array).unwrap();
+//!     if ctx.is_comm_thread() {
+//!         ctx.send_shutdown(diff.proxy.objref()).unwrap();
+//!     }
+//!     heat
+//! });
+//! assert_eq!(client.join(), vec![64.0, 64.0]);
+//! server.join();
+//! ```
+
+pub use pardis_cdr;
+pub use pardis_core;
+pub use pardis_idl;
+pub use pardis_net;
+pub use pardis_rts;
+pub use pardis_sim;
+
+pub use pardis_core::prelude;
+
+/// Rust stubs generated from `examples/idl/*.idl` by `build.rs` using
+/// the PARDIS IDL compiler.
+pub mod stubs {
+    /// Stubs for `examples/idl/diffusion.idl` — the paper's running
+    /// example.
+    #[allow(non_camel_case_types, non_snake_case, dead_code, unused_mut, unused_variables, clippy::derivable_impls, clippy::needless_return)]
+    pub mod diffusion {
+        include!(concat!(env!("OUT_DIR"), "/diffusion.rs"));
+    }
+    /// Stubs for `examples/idl/simulation.idl` — the multi-application
+    /// demo (vector service + monitor).
+    #[allow(non_camel_case_types, non_snake_case, dead_code, unused_mut, unused_variables, clippy::derivable_impls, clippy::needless_return)]
+    pub mod simulation {
+        include!(concat!(env!("OUT_DIR"), "/simulation.rs"));
+    }
+    /// Stubs for `examples/idl/types.idl` — the full-type-system
+    /// exercise.
+    #[allow(non_camel_case_types, non_snake_case, dead_code, unused_mut, unused_variables, clippy::derivable_impls, clippy::needless_return)]
+    pub mod types {
+        include!(concat!(env!("OUT_DIR"), "/types.rs"));
+    }
+}
+
+pub mod apps;

@@ -1,0 +1,179 @@
+//! Concurrency behaviour of the ORB: multiple outstanding futures on
+//! one binding, several client machines sharing one SPMD object, and
+//! dedicated versus shared links.
+
+use pardis::apps::diffusion::DiffusionServant;
+use pardis::apps::vector::VectorServant;
+use pardis::prelude::*;
+use pardis::stubs::diffusion::{diff_objectProxy, diff_objectSkeleton};
+use pardis::stubs::simulation::pardis_demo::{vector_serviceProxy, vector_serviceSkeleton};
+
+#[test]
+fn multiple_outstanding_futures_same_binding() {
+    // Two non-blocking invocations in flight before either is waited
+    // on; replies may arrive in either order and are matched by request
+    // id in the proxy's reply buffer.
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("server", 2, |ctx| {
+        vector_serviceSkeleton::register(&ctx, "v", VectorServant::new(), vec![]).unwrap();
+        ctx.serve_forever().unwrap();
+    });
+    let client = world.spawn_machine("client", 2, |ctx| {
+        let svc = vector_serviceProxy::_spmd_bind(&ctx, "v", None).unwrap();
+        let mut a = DSequence::<f64>::new(ctx.rts(), 64, None).unwrap();
+        let mut b = DSequence::<f64>::new(ctx.rts(), 64, None).unwrap();
+        for x in a.local_data_mut() {
+            *x = 2.0;
+        }
+        for x in b.local_data_mut() {
+            *x = 3.0;
+        }
+        let f1 = svc.dot_nb(&ctx, &a, &a).unwrap();
+        let f2 = svc.dot_nb(&ctx, &b, &b).unwrap();
+        // Wait in reverse order of issue.
+        let d2 = f2.wait().unwrap().ret;
+        let d1 = f1.wait().unwrap().ret;
+        assert_eq!(d1, 64.0 * 4.0);
+        assert_eq!(d2, 64.0 * 9.0);
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(svc.proxy.objref()).unwrap();
+        }
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn several_client_machines_share_one_object() {
+    // Three client machines (different sizes) hammer one SPMD object
+    // concurrently; the request port serializes invocations and every
+    // client gets its own answers back.
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("server", 3, |ctx| {
+        diff_objectSkeleton::register(&ctx, "diff", DiffusionServant::new(), vec![]).unwrap();
+        ctx.serve_forever().unwrap();
+    });
+    let mut clients = Vec::new();
+    for (name, threads, fill) in [("c1", 1usize, 1.0f64), ("c2", 2, 2.0), ("c3", 4, 3.0)] {
+        clients.push(world.spawn_machine(name, threads, move |ctx| {
+            let diff = diff_objectProxy::_spmd_bind(&ctx, "diff", None).unwrap();
+            for round in 0..5 {
+                let len = 60 + round * 12;
+                let mut arr = DSequence::<f64>::new(ctx.rts(), len, None).unwrap();
+                for x in arr.local_data_mut() {
+                    *x = fill;
+                }
+                let heat = diff.total_heat(&ctx, &arr).unwrap();
+                assert_eq!(heat, fill * len as f64, "{name} round {round}");
+            }
+        }));
+    }
+    for c in clients {
+        c.join();
+    }
+    // Shut down via a fresh one-thread client.
+    let closer = world.spawn_machine("closer", 1, |ctx| {
+        let diff = diff_objectProxy::_bind(&ctx, "diff", None).unwrap();
+        ctx.send_shutdown(diff.proxy.objref()).unwrap();
+    });
+    closer.join();
+    server.join();
+}
+
+#[test]
+fn mixed_modes_interleaved_on_one_server() {
+    // Alternate centralized and multi-port invocations against the same
+    // object; fragment buffering must never confuse the two paths.
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("server", 4, |ctx| {
+        diff_objectSkeleton::register(&ctx, "diff", DiffusionServant::new(), vec![]).unwrap();
+        ctx.serve_forever().unwrap();
+    });
+    let client = world.spawn_machine("client", 3, |ctx| {
+        let mut diff = diff_objectProxy::_spmd_bind(&ctx, "diff", None).unwrap();
+        for round in 0..6 {
+            let mode = if round % 2 == 0 {
+                TransferMode::Centralized
+            } else {
+                TransferMode::MultiPort
+            };
+            diff._set_transfer_mode(mode).unwrap();
+            let mut arr = DSequence::<f64>::new(ctx.rts(), 90 + round, None).unwrap();
+            for x in arr.local_data_mut() {
+                *x = 1.0;
+            }
+            diff.diffusion(&ctx, 1, &mut arr).unwrap();
+            let heat = diff.total_heat(&ctx, &arr).unwrap();
+            assert!((heat - (90 + round) as f64).abs() < 1e-9, "round {round}");
+        }
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(diff.proxy.objref()).unwrap();
+        }
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn dedicated_links_beat_a_shared_one() {
+    // Topology matters: two client machines pushing bulk data to two
+    // servers finish faster over dedicated per-pair links than over one
+    // shared medium.
+    use pardis_net::{Fabric, LinkSpec};
+    use std::time::Instant;
+
+    let payload = 600_000usize; // ~33 ms of wire at 18 MB/s
+    let spec = LinkSpec {
+        bandwidth: Some(18.0e6),
+        latency: std::time::Duration::ZERO,
+        mtu: 9180,
+        per_frame_overhead: 0,
+    };
+
+    let run = |dedicated: bool| -> std::time::Duration {
+        let fabric = if dedicated {
+            Fabric::new()
+        } else {
+            Fabric::shared_link(spec)
+        };
+        let a1 = fabric.add_host("a1");
+        let a2 = fabric.add_host("a2");
+        let b1 = fabric.add_host("b1");
+        let b2 = fabric.add_host("b2");
+        if dedicated {
+            fabric.connect(a1.id(), b1.id(), spec);
+            fabric.connect(a2.id(), b2.id(), spec);
+        }
+        let p1 = b1.open_port();
+        let p2 = b2.open_port();
+        let t0 = Instant::now();
+        let send1 = {
+            let a1 = a1.clone();
+            let to = (b1.id(), p1.port());
+            std::thread::spawn(move || {
+                a1.send_to(to.0, to.1, bytes::Bytes::from(vec![0u8; payload]))
+                    .unwrap();
+            })
+        };
+        let send2 = {
+            let a2 = a2.clone();
+            let to = (b2.id(), p2.port());
+            std::thread::spawn(move || {
+                a2.send_to(to.0, to.1, bytes::Bytes::from(vec![0u8; payload]))
+                    .unwrap();
+            })
+        };
+        send1.join().unwrap();
+        send2.join().unwrap();
+        p1.recv().unwrap();
+        p2.recv().unwrap();
+        t0.elapsed()
+    };
+
+    let shared = run(false);
+    let dedicated = run(true);
+    assert!(
+        dedicated.as_secs_f64() < shared.as_secs_f64() * 0.75,
+        "dedicated {dedicated:?} should be well under shared {shared:?}"
+    );
+}

@@ -1,0 +1,213 @@
+//! End-to-end tests through the **generated stubs**: the paper's §2.1
+//! programming model exactly as an application developer would use it —
+//! `_spmd_bind`/`_bind`, the four method variants, attributes,
+//! exceptions, and both transfer methods.
+
+use pardis::apps::diffusion::{hot_spot, reference_diffusion, DiffusionServant};
+use pardis::prelude::*;
+use pardis::stubs::diffusion::{diff_objectProxy, diff_objectSkeleton};
+use pardis_net::ior::OpArgDist;
+
+fn start_diffusion_server(world: &World, n: usize, dists: Vec<OpArgDist>) -> pardis_core::MachineHandle<()> {
+    world.spawn_machine("HOST1", n, move |ctx| {
+        diff_objectSkeleton::register(&ctx, "example", DiffusionServant::new(), dists.clone())
+            .expect("register");
+        ctx.serve_forever().expect("serve");
+    })
+}
+
+#[test]
+fn paper_scenario_through_generated_stubs() {
+    // The verbatim §2.1 flow:
+    //   diff_object* diff = diff_object::_spmd_bind("example", HOST1);
+    //   diff->diffusion(64, my_diff_array);
+    let world = World::new(LinkSpec::unlimited());
+    let server = start_diffusion_server(&world, 4, vec![]);
+    let client = world.spawn_machine("HOST2", 2, |ctx| {
+        let diff = diff_objectProxy::_spmd_bind(&ctx, "example", Some("HOST1")).unwrap();
+
+        let len = 512;
+        let init = hot_spot(len);
+        let mut my_diff_array = DSequence::<f64>::new(ctx.rts(), len, None).unwrap();
+        let r = my_diff_array.local_range();
+        my_diff_array.local_data_mut().copy_from_slice(&init[r.clone()]);
+
+        diff.diffusion(&ctx, 64, &mut my_diff_array).unwrap();
+
+        let mut want = init.clone();
+        reference_diffusion(&mut want, 64);
+        for (got, exp) in my_diff_array.local_data().iter().zip(&want[r]) {
+            assert!((got - exp).abs() < 1e-9);
+        }
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(diff.proxy.objref()).unwrap();
+        }
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn multiport_mode_through_stubs() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = start_diffusion_server(&world, 3, vec![]);
+    let client = world.spawn_machine("HOST2", 2, |ctx| {
+        let mut diff = diff_objectProxy::_spmd_bind(&ctx, "example", None).unwrap();
+        diff._set_transfer_mode(TransferMode::MultiPort).unwrap();
+        let mut arr = DSequence::<f64>::new(ctx.rts(), 300, None).unwrap();
+        for x in arr.local_data_mut() {
+            *x = 2.0;
+        }
+        diff.diffusion(&ctx, 5, &mut arr).unwrap();
+        // Heat conservation: the stencil preserves the total.
+        let heat = diff.total_heat(&ctx, &arr).unwrap();
+        assert!((heat - 600.0).abs() < 1e-9);
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(diff.proxy.objref()).unwrap();
+        }
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn nd_mapping_and_futures_through_stubs() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = start_diffusion_server(&world, 4, vec![]);
+    let client = world.spawn_machine("HOST2", 1, |ctx| {
+        let diff = diff_objectProxy::_bind(&ctx, "example", None).unwrap();
+
+        // Non-distributed mapping: plain Vec through a 1-thread binding.
+        let mut v: Vec<f64> = hot_spot(64);
+        let before: f64 = v.iter().sum();
+        diff.diffusion_nd(&ctx, 3, &mut v).unwrap();
+        let after: f64 = v.iter().sum();
+        assert!((before - after).abs() < 1e-9);
+
+        // Non-blocking nd variant: the future resolves to the result
+        // struct carrying the new sequence.
+        let fut = diff.diffusion_nd_nb(&ctx, 2, &v).unwrap();
+        let out = fut.wait().unwrap();
+        let mut want = v.clone();
+        reference_diffusion(&mut want, 2);
+        assert_eq!(out.darray.len(), want.len());
+        for (g, w) in out.darray.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+
+        // Attribute: 3 + 2 steps executed so far.
+        assert_eq!(diff._get_steps_completed(&ctx).unwrap(), 5);
+
+        ctx.send_shutdown(diff.proxy.objref()).unwrap();
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn distributed_futures_through_stubs() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = start_diffusion_server(&world, 2, vec![]);
+    let client = world.spawn_machine("HOST2", 2, |ctx| {
+        let diff = diff_objectProxy::_spmd_bind(&ctx, "example", None).unwrap();
+        let mut arr = DSequence::<f64>::new(ctx.rts(), 128, None).unwrap();
+        for x in arr.local_data_mut() {
+            *x = 1.0;
+        }
+        // Kick off, overlap, then collect — collectively on every
+        // thread, as §2.1 requires for spmd-bound invocations.
+        let fut = diff.diffusion_nb(&ctx, 4, &arr).unwrap();
+        let local: f64 = arr.local_data().iter().sum();
+        assert!(local > 0.0);
+        let out = fut.wait().unwrap();
+        assert_eq!(out.darray.local_len(), arr.local_len());
+        // Uniform input is a fixed point of the stencil.
+        for x in out.darray.local_data() {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(diff.proxy.objref()).unwrap();
+        }
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn idl_exception_through_stubs() {
+    let world = World::new(LinkSpec::unlimited());
+    let server = start_diffusion_server(&world, 2, vec![]);
+    let client = world.spawn_machine("HOST2", 1, |ctx| {
+        let diff = diff_objectProxy::_bind(&ctx, "example", None).unwrap();
+        // Negative timesteps raise diffusion_failed.
+        let mut v = vec![0.0f64; 16];
+        let err = diff.diffusion_nd(&ctx, -1, &mut v).unwrap_err();
+        match err {
+            PardisError::UserException(name) => {
+                assert_eq!(
+                    name,
+                    pardis::stubs::diffusion::diffusion_failed::NAME
+                );
+            }
+            other => panic!("expected user exception, got {other}"),
+        }
+        ctx.send_shutdown(diff.proxy.objref()).unwrap();
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn preregistered_proportions_through_stubs() {
+    // The paper's §2.2 example: the server assigns
+    // Proportions(2,4,2,4) to the diffusion array before registering.
+    let world = World::new(LinkSpec::unlimited());
+    let dists = vec![OpArgDist {
+        op: "diffusion".into(),
+        arg_index: 0,
+        dist: DistSpec::Proportions(vec![2, 4, 2, 4]),
+    }];
+    let server = start_diffusion_server(&world, 4, dists);
+    let client = world.spawn_machine("HOST2", 2, |ctx| {
+        let mut diff = diff_objectProxy::_spmd_bind(&ctx, "example", None).unwrap();
+        diff._set_transfer_mode(TransferMode::MultiPort).unwrap();
+        let len = 240;
+        let init = hot_spot(len);
+        let mut arr = DSequence::<f64>::new(ctx.rts(), len, None).unwrap();
+        let r = arr.local_range();
+        arr.local_data_mut().copy_from_slice(&init[r.clone()]);
+        diff.diffusion(&ctx, 7, &mut arr).unwrap();
+        let mut want = init;
+        reference_diffusion(&mut want, 7);
+        for (g, w) in arr.local_data().iter().zip(&want[r]) {
+            assert!((g - w).abs() < 1e-9);
+        }
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(diff.proxy.objref()).unwrap();
+        }
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn two_sequential_clients_one_object() {
+    // Objects persist across clients: a second client binds after the
+    // first finished and sees the accumulated attribute state.
+    let world = World::new(LinkSpec::unlimited());
+    let server = start_diffusion_server(&world, 2, vec![]);
+    let c1 = world.spawn_machine("C1", 1, |ctx| {
+        let diff = diff_objectProxy::_bind(&ctx, "example", None).unwrap();
+        let mut v = vec![1.0f64; 32];
+        diff.diffusion_nd(&ctx, 10, &mut v).unwrap();
+    });
+    c1.join();
+    let c2 = world.spawn_machine("C2", 1, |ctx| {
+        let diff = diff_objectProxy::_bind(&ctx, "example", None).unwrap();
+        let steps = diff._get_steps_completed(&ctx).unwrap();
+        assert_eq!(steps, 10);
+        ctx.send_shutdown(diff.proxy.objref()).unwrap();
+    });
+    c2.join();
+    server.join();
+}

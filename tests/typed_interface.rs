@@ -1,0 +1,166 @@
+//! End-to-end tests of the full IDL type system through the generated
+//! `collector` stubs: structs (including sequence members), enums,
+//! typedef chains, out/inout scalars, unsigned 64-bit integers, octet
+//! sequences, oneway operations, attributes, and IDL constants.
+
+use pardis::apps::collector::CollectorServant;
+use pardis::prelude::*;
+use pardis::stubs::types::typetest::{
+    collectorProxy, collectorSkeleton, Mode, Sample, ENABLED, GREETING, MAGIC, SCALE,
+};
+
+fn with_collector<F>(f: F)
+where
+    F: Fn(OrbCtx, collectorProxy) + Send + Sync + 'static,
+{
+    let world = World::new(LinkSpec::unlimited());
+    let server = world.spawn_machine("server", 1, |ctx| {
+        collectorSkeleton::register(&ctx, "collector", CollectorServant::new(), vec![])
+            .expect("register");
+        ctx.serve_forever().expect("serve");
+    });
+    let client = world.spawn_machine("client", 1, move |ctx| {
+        let proxy = collectorProxy::_bind(&ctx, "collector", None).expect("bind");
+        f(ctx, proxy);
+    });
+    client.join();
+    server.join();
+}
+
+#[test]
+fn idl_constants_materialize() {
+    assert_eq!(MAGIC, 42);
+    assert_eq!(SCALE, 1.5);
+    assert_eq!(GREETING, "pardis");
+    #[allow(clippy::assertions_on_constants)]
+    const _: () = assert!(ENABLED);
+}
+
+#[test]
+fn structs_and_sequences_round_trip() {
+    with_collector(|ctx, proxy| {
+        for i in 0..5 {
+            let n = proxy
+                .add(
+                    &ctx,
+                    &Sample {
+                        id: i,
+                        value: i as f64 * 1.5,
+                        valid: true,
+                    },
+                )
+                .unwrap();
+            assert_eq!(n, i + 1);
+        }
+        // Sequence-of-structs through a typedef chain.
+        let all = proxy.dump(&ctx).unwrap();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[3].id, 3);
+        assert_eq!(all[3].value, 4.5);
+        // Struct return with a sequence member.
+        let batch = proxy.summarize(&ctx, "run-1").unwrap();
+        assert_eq!(batch.label, "run-1");
+        assert_eq!(batch.values, vec![0.0, 1.5, 3.0, 4.5, 6.0]);
+        ctx.send_shutdown(proxy.proxy.objref()).unwrap();
+    });
+}
+
+#[test]
+fn out_and_inout_scalars() {
+    with_collector(|ctx, proxy| {
+        proxy
+            .add(&ctx, &Sample { id: 1, value: 10.0, valid: true })
+            .unwrap();
+        proxy
+            .add(&ctx, &Sample { id: 2, value: 20.0, valid: true })
+            .unwrap();
+        let mut running_mean = 5.0; // inout
+        let mut count = 0i32; // out
+        proxy.stats(&ctx, &mut running_mean, &mut count).unwrap();
+        assert_eq!(count, 2);
+        // Server blends its mean (15.0) with ours (5.0).
+        assert_eq!(running_mean, 10.0);
+        ctx.send_shutdown(proxy.proxy.objref()).unwrap();
+    });
+}
+
+#[test]
+fn enums_round_trip() {
+    with_collector(|ctx, proxy| {
+        assert_eq!(proxy.mode(&ctx).unwrap(), Mode::SAFE);
+        proxy.set_mode(&ctx, Mode::TURBO).unwrap();
+        assert_eq!(proxy.mode(&ctx).unwrap(), Mode::TURBO);
+        ctx.send_shutdown(proxy.proxy.objref()).unwrap();
+    });
+}
+
+#[test]
+fn u64_checksum_and_octet_sequences() {
+    with_collector(|ctx, proxy| {
+        let data: Vec<u8> = (0..=255).collect();
+        let remote = proxy.checksum(&ctx, &data).unwrap();
+        // Same FNV-1a locally.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        assert_eq!(remote, h);
+        ctx.send_shutdown(proxy.proxy.objref()).unwrap();
+    });
+}
+
+#[test]
+fn oneway_reset_and_attributes() {
+    with_collector(|ctx, proxy| {
+        proxy
+            .add(&ctx, &Sample { id: 1, value: 1.0, valid: true })
+            .unwrap();
+        assert_eq!(proxy._get_total_added(&ctx).unwrap(), 1);
+
+        // Oneway: returns immediately; state change observed on the
+        // next (ordered) two-way call.
+        proxy.reset(&ctx).unwrap();
+        assert!(proxy.dump(&ctx).unwrap().is_empty());
+        // total_added survives a reset (it counts adds, not holdings).
+        assert_eq!(proxy._get_total_added(&ctx).unwrap(), 1);
+
+        // Writable attribute.
+        assert_eq!(proxy._get_threshold(&ctx).unwrap(), 0.5);
+        proxy._set_threshold(&ctx, 0.9).unwrap();
+        assert_eq!(proxy._get_threshold(&ctx).unwrap(), 0.9);
+        ctx.send_shutdown(proxy.proxy.objref()).unwrap();
+    });
+}
+
+#[test]
+fn exception_on_invalid_sample() {
+    with_collector(|ctx, proxy| {
+        let err = proxy
+            .add(&ctx, &Sample { id: 9, value: 0.0, valid: false })
+            .unwrap_err();
+        match err {
+            PardisError::UserException(name) => assert_eq!(name, "bad_sample"),
+            other => panic!("expected bad_sample, got {other}"),
+        }
+        // The object remains usable after an exception.
+        assert!(proxy.dump(&ctx).unwrap().is_empty());
+        ctx.send_shutdown(proxy.proxy.objref()).unwrap();
+    });
+}
+
+#[test]
+fn nb_variant_on_plain_interface() {
+    // Even without distributed args every operation gets an `_nb`
+    // variant returning a future.
+    with_collector(|ctx, proxy| {
+        proxy
+            .add(&ctx, &Sample { id: 7, value: 7.0, valid: true })
+            .unwrap();
+        let fut = proxy.dump_nb(&ctx).unwrap();
+        let out = fut.wait().unwrap();
+        assert_eq!(out.ret.len(), 1);
+        assert_eq!(out.ret[0].id, 7);
+        ctx.send_shutdown(proxy.proxy.objref()).unwrap();
+    });
+}
