@@ -12,19 +12,15 @@ fn bench_gather(c: &mut Criterion) {
         let rig = Arc::new(SpmdRig::new(threads));
         let per_thread = 1usize << 14;
         g.throughput(Throughput::Bytes((threads * per_thread * 8) as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &rig,
-            |b, rig| {
-                b.iter(|| {
-                    rig.run(move |ep| {
-                        let local = vec![ep.rank() as f64; per_thread];
-                        let gathered = ep.gather_f64(0, &local).unwrap();
-                        std::hint::black_box(gathered);
-                    });
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &rig, |b, rig| {
+            b.iter(|| {
+                rig.run(move |ep| {
+                    let local = vec![ep.rank() as f64; per_thread];
+                    let gathered = ep.gather_f64(0, &local).unwrap();
+                    std::hint::black_box(gathered);
                 });
-            },
-        );
+            });
+        });
     }
     g.finish();
 }
@@ -42,9 +38,7 @@ fn bench_gather_scatter_roundtrip(c: &mut Criterion) {
                     let counts = vec![per_thread; ep.size()];
                     let local = vec![1.0f64; per_thread];
                     let gathered = ep.gather_f64(0, &local).unwrap();
-                    let back = ep
-                        .scatterv_f64(0, gathered.as_deref(), &counts)
-                        .unwrap();
+                    let back = ep.scatterv_f64(0, gathered.as_deref(), &counts).unwrap();
                     std::hint::black_box(back);
                 });
             });

@@ -18,8 +18,7 @@ fn bench_redistribute(c: &mut Criterion) {
             b.iter(|| {
                 rig.run(move |ep| {
                     let mut s = DSequence::<f64>::new(ep, len, None).unwrap();
-                    let weights: Vec<u32> =
-                        (0..ep.size() as u32).map(|i| 1 + (i % 4)).collect();
+                    let weights: Vec<u32> = (0..ep.size() as u32).map(|i| 1 + (i % 4)).collect();
                     let t = DistTempl::proportional(len, &Proportions::new(weights));
                     s.redistribute(ep, t).unwrap();
                     std::hint::black_box(s.local_len());
@@ -65,5 +64,10 @@ fn bench_from_local(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_redistribute, bench_element_access, bench_from_local);
+criterion_group!(
+    benches,
+    bench_redistribute,
+    bench_element_access,
+    bench_from_local
+);
 criterion_main!(benches);

@@ -48,7 +48,10 @@ fn report(label: &str, tb: &Testbed) -> f64 {
 
 fn main() {
     println!("testbed ablation: the paper's experiments on 1997 vs modern hardware\n");
-    let r97 = report("1997 testbed (SGI Onyx / Power Challenge / ATM)", &paper_testbed());
+    let r97 = report(
+        "1997 testbed (SGI Onyx / Power Challenge / ATM)",
+        &paper_testbed(),
+    );
     let rnow = report("modern testbed (many-core / 10 GbE)", &modern_testbed());
     println!("multi-port peak advantage: {r97:.2}x in 1997, {rnow:.2}x today");
     println!();

@@ -69,8 +69,7 @@ impl RuntimeHarness {
             let my_rx = cmd_rxs.lock().expect("lock")[ctx.rank()]
                 .take()
                 .expect("each rank takes its receiver once");
-            let mut proxy =
-                diff_objectProxy::_spmd_bind(&ctx, "bench", None).expect("bind");
+            let mut proxy = diff_objectProxy::_spmd_bind(&ctx, "bench", None).expect("bind");
             loop {
                 match my_rx.recv().expect("command channel open") {
                     Cmd::Stop => {
@@ -81,8 +80,7 @@ impl RuntimeHarness {
                     }
                     Cmd::Invoke { len, mode, iters } => {
                         proxy._set_transfer_mode(mode).expect("mode");
-                        let mut seq =
-                            DSequence::<f64>::new(ctx.rts(), len, None).expect("dseq");
+                        let mut seq = DSequence::<f64>::new(ctx.rts(), len, None).expect("dseq");
                         for x in seq.local_data_mut() {
                             *x = 1.0;
                         }

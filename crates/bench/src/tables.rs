@@ -8,9 +8,7 @@ use pardis_sim::scripts::{CentralizedTiming, MultiportTiming};
 /// Table 1 of the paper, from simulated timings.
 pub fn format_table1(rows: &[CentralizedTiming]) -> String {
     let mut s = String::new();
-    s.push_str(
-        "Table 1 — Time of invocation using the CENTRALIZED method of argument transfer\n",
-    );
+    s.push_str("Table 1 — Time of invocation using the CENTRALIZED method of argument transfer\n");
     s.push_str("(2^19 doubles; times in milliseconds; n = server threads, c = client threads)\n\n");
     s.push_str("   c   n |        T      t_ps       t_r   t_gather  t_scatter\n");
     s.push_str("  -------+---------------------------------------------------\n");

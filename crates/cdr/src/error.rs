@@ -25,7 +25,10 @@ pub enum CdrError {
     /// A length field implied more data than the message can hold.
     LengthOverflow(u64),
     /// A type code in the stream did not match the expected type.
-    TypeMismatch { expected: &'static str, found: String },
+    TypeMismatch {
+        expected: &'static str,
+        found: String,
+    },
 }
 
 impl fmt::Display for CdrError {

@@ -42,9 +42,14 @@ pub enum TypeCode {
         members: Vec<(String, TypeCode)>,
     },
     /// A named enum with its variant labels.
-    Enum { name: String, variants: Vec<String> },
+    Enum {
+        name: String,
+        variants: Vec<String>,
+    },
     /// An object reference to the named interface.
-    ObjRef { interface: String },
+    ObjRef {
+        interface: String,
+    },
 }
 
 /// Discriminants used on the wire.

@@ -29,8 +29,45 @@ use bytes::Bytes;
 use pardis_net::conn::Connection;
 use pardis_net::giop::{GiopMessage, ReplyHeader, TransferMode};
 use pardis_net::ObjectRef;
-use std::cell::RefCell;
-use std::time::Instant;
+use pardis_rts::ReduceOp;
+use std::cell::{Cell, RefCell};
+use std::time::{Duration, Instant};
+
+/// Bounded-retry policy for idempotent invocations: on a retryable
+/// transport fault ([`PardisError::is_retryable`]) the invocation is
+/// re-sent, with exponential backoff between attempts. Collective
+/// bindings agree on the retry decision machine-wide, so either every
+/// computing thread retries or none does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, counting the first (so `1` means no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied per retry (exponential backoff).
+    pub backoff_factor: u32,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            backoff_factor: 2,
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let mult = self.backoff_factor.max(1).saturating_pow(attempt.min(16));
+        (self.base_backoff * mult).min(self.max_backoff)
+    }
+}
 
 /// A client-side handle on a (possibly remote, possibly SPMD) object.
 pub struct Proxy {
@@ -44,6 +81,15 @@ pub struct Proxy {
     pub(crate) mode: TransferMode,
     /// Replies that arrived out of order (outstanding futures).
     pub(crate) reply_buf: RefCell<Vec<(ReplyHeader, Bytes)>>,
+    /// Retry policy applied by `invoke` to idempotent requests.
+    pub(crate) retry: Option<RetryPolicy>,
+    /// Default invocation deadline when the spec does not carry one.
+    pub(crate) default_deadline: Option<Duration>,
+    /// Invocation attempts that were retried on this thread.
+    pub(crate) retries: Cell<u64>,
+    /// Multi-port invocations demoted to centralized because a server
+    /// data port was found dead.
+    pub(crate) fallbacks: Cell<u64>,
 }
 
 /// The client half of an invocation between its send and receive phases
@@ -56,6 +102,18 @@ pub struct PendingInvoke {
     pub(crate) response_expected: bool,
     pub(crate) timing: InvokeTiming,
     pub(crate) started: Instant,
+    /// Absolute deadline for the receive phase, if any.
+    pub(crate) deadline: Option<Instant>,
+    /// A send-phase failure deferred until the receive phase, so the
+    /// machine's threads stay in lockstep through the collectives.
+    pub(crate) send_error: Option<PardisError>,
+}
+
+impl PendingInvoke {
+    /// The deferred send-phase failure, if any.
+    pub(crate) fn send_failure(&self) -> Option<PardisError> {
+        self.send_error.clone()
+    }
 }
 
 /// Routing info for one distributed argument of a pending invocation.
@@ -88,7 +146,11 @@ impl OrbCtx {
         };
         check_type(&objref, expected_type)?;
         let conn = if self.is_comm_thread() {
-            Some(Connection::open(&self.host, objref.host, objref.request_port))
+            Some(Connection::open(
+                &self.host,
+                objref.host,
+                objref.request_port,
+            ))
         } else {
             None
         };
@@ -98,6 +160,10 @@ impl OrbCtx {
             conn,
             mode: TransferMode::Centralized,
             reply_buf: RefCell::new(Vec::new()),
+            retry: None,
+            default_deadline: None,
+            retries: Cell::new(0),
+            fallbacks: Cell::new(0),
         })
     }
 
@@ -120,6 +186,10 @@ impl OrbCtx {
             conn: Some(conn),
             mode: TransferMode::Centralized,
             reply_buf: RefCell::new(Vec::new()),
+            retry: None,
+            default_deadline: None,
+            retries: Cell::new(0),
+            fallbacks: Cell::new(0),
         })
     }
 
@@ -175,6 +245,35 @@ impl Proxy {
         Ok(())
     }
 
+    /// Enable bounded retry with exponential backoff for idempotent
+    /// invocations (`spec.idempotent` or `oneway`). On a collective
+    /// binding every thread of the machine must set the same policy.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// Disable automatic retry.
+    pub fn clear_retry(&mut self) {
+        self.retry = None;
+    }
+
+    /// Default per-invocation deadline applied when a request spec does
+    /// not carry its own. `None` restores indefinite blocking.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.default_deadline = deadline;
+    }
+
+    /// Invocation attempts this thread has retried so far.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Multi-port invocations this thread demoted to the centralized
+    /// engine because a server data port was dead.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.get()
+    }
+
     /// Describe a distributed argument from a typed sequence, resolving
     /// the server-side layout from the object reference's registered
     /// distribution templates (`dist_index` counts distributed arguments
@@ -187,8 +286,7 @@ impl Proxy {
         seq: &DSequence<T>,
     ) -> PardisResult<DistArgSend> {
         let spec = self.objref.dist_for(op, dist_index);
-        let server_templ =
-            DistTempl::from_spec(&spec, seq.len(), self.objref.nthreads as usize)?;
+        let server_templ = DistTempl::from_spec(&spec, seq.len(), self.objref.nthreads as usize)?;
         Ok(DistArgSend {
             dir,
             elem_size: T::wire_size(),
@@ -210,8 +308,7 @@ impl Proxy {
         data: &[T],
     ) -> PardisResult<DistArgSend> {
         let spec = self.objref.dist_for(op, dist_index);
-        let server_templ =
-            DistTempl::from_spec(&spec, data.len(), self.objref.nthreads as usize)?;
+        let server_templ = DistTempl::from_spec(&spec, data.len(), self.objref.nthreads as usize)?;
         Ok(DistArgSend {
             dir,
             elem_size: T::wire_size(),
@@ -223,10 +320,12 @@ impl Proxy {
 
     /// Invoke an operation, blocking until the reply (if any) has been
     /// delivered to every computing thread. Collective when the binding
-    /// is collective.
+    /// is collective. When a [`RetryPolicy`] is set and the request is
+    /// idempotent (or `oneway`), retryable transport faults are retried
+    /// with exponential backoff; on a collective binding the retry
+    /// decision is agreed machine-wide, so all threads stay in lockstep.
     pub fn invoke(&self, ctx: &OrbCtx, spec: RequestSpec) -> PardisResult<ReplyResult> {
-        let pending = self.begin(ctx, &spec)?;
-        self.complete(ctx, pending)
+        self.invoke_with_mode(ctx, spec, self.mode)
     }
 
     /// Invoke with an explicit transfer method, overriding
@@ -237,8 +336,46 @@ impl Proxy {
         spec: RequestSpec,
         mode: TransferMode,
     ) -> PardisResult<ReplyResult> {
-        let pending = self.begin_with_mode(ctx, &spec, mode)?;
-        self.complete(ctx, pending)
+        let Some(policy) = self.retry else {
+            let pending = self.begin_with_mode(ctx, &spec, mode)?;
+            return self.complete(ctx, pending);
+        };
+        let can_retry = spec.idempotent || !spec.response_expected;
+        let mut attempt: u32 = 0;
+        loop {
+            let result = self
+                .begin_with_mode(ctx, &spec, mode)
+                .and_then(|pending| self.complete(ctx, pending));
+            // 0 = success, 1 = retryable fault, 2 = fatal. Collective
+            // bindings take the max across the machine: one thread's
+            // fault retries (or fails) the invocation for everyone.
+            let verdict = match &result {
+                Ok(_) => 0.0,
+                Err(e) if can_retry && e.is_retryable() => 1.0,
+                Err(_) => 2.0,
+            };
+            let verdict = if self.collective {
+                ctx.rts.allreduce_f64(&[verdict], ReduceOp::Max)?[0]
+            } else {
+                verdict
+            };
+            if verdict == 0.0 {
+                return result;
+            }
+            if verdict > 1.0 || attempt + 1 >= policy.max_attempts {
+                return match result {
+                    Err(e) => Err(e),
+                    // This thread succeeded but the machine failed:
+                    // surface a consistent error everywhere.
+                    Ok(_) => Err(PardisError::CommFailure(
+                        "collective invocation failed on another computing thread".into(),
+                    )),
+                };
+            }
+            self.retries.set(self.retries.get() + 1);
+            std::thread::sleep(policy.backoff(attempt));
+            attempt += 1;
+        }
     }
 
     /// Non-blocking invocation: the send phase runs now, the returned
@@ -279,21 +416,39 @@ impl Proxy {
             ctx.rts.barrier();
         }
         let started = Instant::now();
-        let req_id = if self.collective {
+        // Agree on the request id and the effective transfer method.
+        // The communicating thread probes the server's data ports when
+        // multi-port was requested; if any is dead the invocation is
+        // demoted to the centralized engine (graceful degradation), and
+        // the decision rides along with the id broadcast so all threads
+        // drive the same engine.
+        let requested = mode;
+        let (req_id, mode) = if self.collective {
             if ctx.is_comm_thread() {
                 let id = ctx.next_request_id();
-                ctx.rts
-                    .broadcast(0, Some(Bytes::copy_from_slice(&id.to_le_bytes())))?;
-                id
+                let mode = self.effective_mode(ctx, mode);
+                let mut buf = [0u8; 9];
+                buf[..8].copy_from_slice(&id.to_le_bytes());
+                buf[8] = (mode == TransferMode::MultiPort) as u8;
+                ctx.rts.broadcast(0, Some(Bytes::copy_from_slice(&buf)))?;
+                (id, mode)
             } else {
                 let b = ctx.rts.broadcast(0, None)?;
                 let mut a = [0u8; 8];
                 a.copy_from_slice(&b[..8]);
-                u64::from_le_bytes(a)
+                let mode = if b[8] == 1 {
+                    TransferMode::MultiPort
+                } else {
+                    TransferMode::Centralized
+                };
+                (u64::from_le_bytes(a), mode)
             }
         } else {
-            ctx.next_request_id()
+            (ctx.next_request_id(), self.effective_mode(ctx, mode))
         };
+        if requested == TransferMode::MultiPort && mode == TransferMode::Centralized {
+            self.fallbacks.set(self.fallbacks.get() + 1);
+        }
 
         let mut pending = PendingInvoke {
             req_id,
@@ -311,6 +466,8 @@ impl Proxy {
             response_expected: spec.response_expected,
             timing: InvokeTiming::default(),
             started,
+            deadline: spec.deadline.or(self.default_deadline).map(|d| started + d),
+            send_error: None,
         };
 
         // Sanity: collective bindings require client templates shaped
@@ -326,45 +483,86 @@ impl Proxy {
             }
         }
 
-        match mode {
-            TransferMode::Centralized => centralized::client_send(ctx, self, spec, &mut pending)?,
-            TransferMode::MultiPort => multiport::client_send(ctx, self, spec, &mut pending)?,
+        // A send failure on a collective binding is deferred to the
+        // receive phase: the machine's threads must pass through the
+        // same collectives, so the error is surfaced after them.
+        let sent = match mode {
+            TransferMode::Centralized => centralized::client_send(ctx, self, spec, &mut pending),
+            TransferMode::MultiPort => multiport::client_send(ctx, self, spec, &mut pending),
+        };
+        if let Err(e) = sent {
+            if self.collective {
+                pending.send_error = Some(e);
+            } else {
+                return Err(e);
+            }
         }
         Ok(pending)
+    }
+
+    /// Probe the server's data ports when multi-port transfer is
+    /// requested; demote to centralized if any is dead.
+    fn effective_mode(&self, ctx: &OrbCtx, mode: TransferMode) -> TransferMode {
+        if mode == TransferMode::MultiPort {
+            let fabric = ctx.host.fabric();
+            let alive = self
+                .objref
+                .data_ports
+                .iter()
+                .all(|&p| fabric.port_alive(self.objref.host, p));
+            if !alive {
+                return TransferMode::Centralized;
+            }
+        }
+        mode
     }
 
     /// Complete an invocation: run the receive phase, synchronize, stamp
     /// the total time.
     fn complete(&self, ctx: &OrbCtx, pending: PendingInvoke) -> PardisResult<ReplyResult> {
-        let mut result = if pending.response_expected {
+        let received = if pending.response_expected {
             match pending.mode {
-                TransferMode::Centralized => centralized::client_recv(ctx, self, &pending)?,
-                TransferMode::MultiPort => multiport::client_recv(ctx, self, &pending)?,
+                TransferMode::Centralized => centralized::client_recv(ctx, self, &pending),
+                TransferMode::MultiPort => multiport::client_recv(ctx, self, &pending),
             }
         } else {
-            ReplyResult {
+            Ok(ReplyResult {
                 nondist_body: Bytes::new(),
                 dist_out: Vec::new(),
                 timing: pending.timing,
-            }
+            })
+        };
+        let mut result = match (received, pending.send_error) {
+            (Ok(r), None) => Ok(r),
+            // A deferred send failure outranks a nominal receive.
+            (Ok(_), Some(e)) => Err(e),
+            (Err(e), _) => Err(e),
         };
         if self.collective {
             // Exit barrier (§3.3 reads the send interleaving off the
-            // time threads spend here).
+            // time threads spend here). Taken on the error path too, so
+            // a thread whose receive failed stays in lockstep with the
+            // ones that succeeded.
             let tb = Instant::now();
             ctx.rts.barrier();
-            result.timing.barrier += tb.elapsed();
+            if let Ok(r) = &mut result {
+                r.timing.barrier += tb.elapsed();
+            }
         }
-        result.timing.total = pending.started.elapsed();
-        Ok(result)
+        if let Ok(r) = &mut result {
+            r.timing.total = pending.started.elapsed();
+        }
+        result
     }
 
     /// Receive the Reply for `req_id` on `conn`, buffering replies to
-    /// other outstanding requests on the same connection.
+    /// other outstanding requests on the same connection. `deadline`
+    /// bounds the wait; `None` blocks indefinitely.
     pub(crate) fn recv_reply(
         &self,
         conn: &Connection,
         req_id: u64,
+        deadline: Option<Instant>,
     ) -> PardisResult<(ReplyHeader, Bytes)> {
         {
             let mut buf = self.reply_buf.borrow_mut();
@@ -373,7 +571,7 @@ impl Proxy {
             }
         }
         loop {
-            match conn.recv()? {
+            match conn.recv_deadline(deadline)? {
                 GiopMessage::Reply(h, body) => {
                     if h.request_id == req_id {
                         return Ok((h, body));

@@ -31,7 +31,10 @@ impl Proportions {
     pub fn new(weights: impl Into<Vec<u32>>) -> Proportions {
         let w = weights.into();
         assert!(!w.is_empty(), "Proportions needs at least one weight");
-        assert!(w.iter().any(|&x| x > 0), "Proportions needs a nonzero weight");
+        assert!(
+            w.iter().any(|&x| x > 0),
+            "Proportions needs a nonzero weight"
+        );
         Proportions(w)
     }
 
@@ -73,11 +76,7 @@ impl DistTempl {
         assert!(nthreads > 0, "template needs at least one thread");
         let base = len / nthreads;
         let rem = len % nthreads;
-        DistTempl::from_counts(
-            (0..nthreads)
-                .map(|t| base + usize::from(t < rem))
-                .collect(),
-        )
+        DistTempl::from_counts((0..nthreads).map(|t| base + usize::from(t < rem)).collect())
     }
 
     /// Proportional distribution of `len` elements. Element counts are
@@ -220,7 +219,11 @@ impl DistTempl {
     ///
     /// Both templates must describe the same total length.
     pub fn transfers_to(&self, src: usize, dst_templ: &DistTempl) -> Vec<(usize, Range<usize>)> {
-        debug_assert_eq!(self.len(), dst_templ.len(), "templates must agree on length");
+        debug_assert_eq!(
+            self.len(),
+            dst_templ.len(),
+            "templates must agree on length"
+        );
         let my = self.range(src);
         if my.is_empty() {
             return Vec::new();
@@ -245,8 +248,7 @@ impl DistTempl {
     /// Number of fragments thread `dst` will *receive* when data moves
     /// from `src_templ` layout into `self` layout.
     pub fn incoming_count(&self, dst: usize, src_templ: &DistTempl) -> usize {
-        src_templ
-            .transfers_to_inverse(self, dst)
+        src_templ.transfers_to_inverse(self, dst)
     }
 
     fn transfers_to_inverse(&self, dst_templ: &DistTempl, dst: usize) -> usize {

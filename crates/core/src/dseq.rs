@@ -163,7 +163,11 @@ impl<T: Elem> DSequence<T> {
 
     /// Non-collective constructor used by the ORB when it has already
     /// materialized the local part and template (argument delivery).
-    pub fn from_parts(local: Vec<T>, templ: DistTempl, thread: usize) -> PardisResult<DSequence<T>> {
+    pub fn from_parts(
+        local: Vec<T>,
+        templ: DistTempl,
+        thread: usize,
+    ) -> PardisResult<DSequence<T>> {
         if local.len() != templ.count(thread) {
             return Err(PardisError::BadDistArg(format!(
                 "local part has {} elements, template assigns {} to thread {}",
@@ -261,7 +265,9 @@ impl<T: Elem> DSequence<T> {
     pub fn get(&self, rts: &Endpoint, idx: usize) -> PardisResult<T> {
         let (owner, local_idx) = self.templ.owner_of(idx)?;
         let data = if rts.rank() == owner {
-            Some(T::to_native_bytes(std::slice::from_ref(&self.local[local_idx])))
+            Some(T::to_native_bytes(std::slice::from_ref(
+                &self.local[local_idx],
+            )))
         } else {
             None
         };
@@ -620,7 +626,10 @@ mod tests {
             // Non-collective: only rank 1 reads and writes.
             if ep.rank() == 1 {
                 assert_eq!(ex.get(17).unwrap(), 17.0);
-                assert_eq!(ex.get_range(3, 10).unwrap(), (3..13).map(|i| i as f64).collect::<Vec<_>>());
+                assert_eq!(
+                    ex.get_range(3, 10).unwrap(),
+                    (3..13).map(|i| i as f64).collect::<Vec<_>>()
+                );
                 ex.put(0, -1.0).unwrap();
             }
             ex.fence(&ep);

@@ -32,6 +32,38 @@ pub enum PardisError {
     MultiportUnavailable,
     /// A blocking call timed out.
     Timeout,
+    /// The transport failed mid-invocation (CORBA `COMM_FAILURE`): a
+    /// connection reset, a dead port, or a vanished route.
+    CommFailure(String),
+}
+
+impl PardisError {
+    /// Whether retrying the invocation could plausibly succeed: the
+    /// failure is a transport fault (reset, dead port, timeout, a frame
+    /// corrupted in flight) rather than a semantic error. Marshaling
+    /// failures count — a corrupted message decodes badly, and a clean
+    /// retransmission fixes it.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PardisError::CommFailure(_)
+            | PardisError::Timeout
+            | PardisError::Net(_)
+            | PardisError::Cdr(_) => true,
+            // The server reports its own transport faults (a fragment
+            // wait that timed out, a reset) as system exceptions.
+            PardisError::SystemException(m) => {
+                m.contains("timed out")
+                    || m.contains("TIMEOUT")
+                    || m.contains("COMM_FAILURE")
+                    || m.contains("communication failure")
+                    || m.contains("connection reset")
+                    || m.contains("closed")
+                    || m.contains("network error")
+                    || m.contains("marshaling error")
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for PardisError {
@@ -45,7 +77,10 @@ impl fmt::Display for PardisError {
                 None => write!(f, "object '{name}' not found"),
             },
             PardisError::InterfaceMismatch { expected, found } => {
-                write!(f, "interface mismatch: proxy expects {expected}, object is {found}")
+                write!(
+                    f,
+                    "interface mismatch: proxy expects {expected}, object is {found}"
+                )
             }
             PardisError::UserException(name) => write!(f, "user exception: {name}"),
             PardisError::SystemException(m) => write!(f, "system exception: {m}"),
@@ -55,6 +90,7 @@ impl fmt::Display for PardisError {
                 write!(f, "object does not advertise per-thread data ports")
             }
             PardisError::Timeout => write!(f, "timed out"),
+            PardisError::CommFailure(m) => write!(f, "communication failure: {m}"),
         }
     }
 }
@@ -63,7 +99,17 @@ impl std::error::Error for PardisError {}
 
 impl From<pardis_net::NetError> for PardisError {
     fn from(e: pardis_net::NetError) -> Self {
-        PardisError::Net(e.to_string())
+        use pardis_net::NetError as NE;
+        match e {
+            // Transport-level losses of connectivity are COMM_FAILUREs.
+            NE::ConnectionReset { .. }
+            | NE::PortClosed { .. }
+            | NE::NoRoute { .. }
+            | NE::UnknownPort { .. }
+            | NE::UnknownHost(_) => PardisError::CommFailure(e.to_string()),
+            NE::Timeout { .. } => PardisError::Timeout,
+            NE::BadMessage(_) => PardisError::Net(e.to_string()),
+        }
     }
 }
 
@@ -89,9 +135,41 @@ mod tests {
         assert!(e.to_string().contains("UTF-8"));
         let e: PardisError = pardis_rts::RtsError::BadRank { rank: 3, size: 2 }.into();
         assert!(e.to_string().contains("rank 3"));
-        let e: PardisError =
-            pardis_net::NetError::UnknownHost(pardis_net::HostId(9)).into();
+        let e: PardisError = pardis_net::NetError::UnknownHost(pardis_net::HostId(9)).into();
         assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn net_errors_map_to_corba_categories() {
+        let e: PardisError = pardis_net::NetError::ConnectionReset {
+            from: pardis_net::HostId(1),
+            to: pardis_net::HostId(2),
+        }
+        .into();
+        assert!(matches!(e, PardisError::CommFailure(_)));
+        let e: PardisError = pardis_net::NetError::Timeout {
+            host: pardis_net::HostId(1),
+            port: 4,
+        }
+        .into();
+        assert!(matches!(e, PardisError::Timeout));
+        let e: PardisError = pardis_net::NetError::PortClosed {
+            host: pardis_net::HostId(1),
+            port: 4,
+        }
+        .into();
+        assert!(matches!(e, PardisError::CommFailure(_)));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(PardisError::Timeout.is_retryable());
+        assert!(PardisError::CommFailure("reset".into()).is_retryable());
+        assert!(PardisError::Cdr("truncated".into()).is_retryable());
+        assert!(PardisError::SystemException("TIMEOUT: reply".into()).is_retryable());
+        assert!(!PardisError::UserException("overflow".into()).is_retryable());
+        assert!(!PardisError::BadOperation("nope".into()).is_retryable());
+        assert!(!PardisError::SystemException("division by zero".into()).is_retryable());
     }
 
     #[test]

@@ -83,10 +83,7 @@ impl<'a, T> PardisFuture<'a, T> {
 
     /// Transform the eventual value with a fallible function (used by
     /// generated stubs to unmarshal typed results).
-    pub fn and_then<U>(
-        self,
-        f: impl FnOnce(T) -> PardisResult<U> + 'a,
-    ) -> PardisFuture<'a, U>
+    pub fn and_then<U>(self, f: impl FnOnce(T) -> PardisResult<U> + 'a) -> PardisFuture<'a, U>
     where
         T: 'a,
     {

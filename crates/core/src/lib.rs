@@ -74,7 +74,7 @@ pub mod server;
 pub mod transfer;
 pub mod world;
 
-pub use client::{PendingInvoke, Proxy};
+pub use client::{PendingInvoke, Proxy, RetryPolicy};
 pub use dist::{DistTempl, Proportions};
 pub use dseq::{DSequence, Elem};
 pub use error::{PardisError, PardisResult};
@@ -87,7 +87,7 @@ pub use world::{MachineHandle, World};
 
 /// One-stop imports for applications and generated stubs.
 pub mod prelude {
-    pub use crate::client::Proxy;
+    pub use crate::client::{Proxy, RetryPolicy};
     pub use crate::dist::{DistTempl, Proportions};
     pub use crate::dseq::{DSequence, Elem};
     pub use crate::error::{PardisError, PardisResult};

@@ -11,8 +11,8 @@
 //! agents".
 
 use crate::error::{PardisError, PardisResult};
-use parking_lot::{Condvar, Mutex};
 use pardis_net::ObjectRef;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};

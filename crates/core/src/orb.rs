@@ -38,6 +38,12 @@ pub struct OrbOptions {
     pub translate: bool,
     /// How long `bind`/`spmd_bind` wait for the object to be activated.
     pub resolve_timeout: Duration,
+    /// How long a server computing thread waits for the DataTransfer
+    /// fragments of one argument (multi-port mode) before reporting a
+    /// system exception. `None` (the default) blocks forever — correct
+    /// on a lossless fabric; set it when frames can be dropped so a lost
+    /// fragment degrades to an error reply instead of a hang.
+    pub frag_timeout: Option<Duration>,
 }
 
 impl Default for OrbOptions {
@@ -46,6 +52,7 @@ impl Default for OrbOptions {
             endian: Endian::native(),
             translate: false,
             resolve_timeout: Duration::from_secs(30),
+            frag_timeout: None,
         }
     }
 }
@@ -77,18 +84,37 @@ pub struct OrbCtx {
     pub(crate) translate: bool,
     /// Resolve timeout for binds.
     pub(crate) resolve_timeout: Duration,
+    /// Server-side fragment-wait timeout.
+    pub(crate) frag_timeout: Option<Duration>,
     /// Timing of the most recent served request (server-side phases).
     pub(crate) last_serve_timing: Cell<InvokeTiming>,
+    /// Datagrams skipped by the serve loop because they failed to
+    /// decode (corrupted in flight).
+    pub(crate) serve_decode_errors: Cell<u64>,
 }
 
 impl OrbCtx {
     /// Collectively initialize the ORB across a machine's computing
     /// threads: every thread of the RTS domain must call this once, with
     /// the same `host` and `naming`.
-    pub fn init(rts: Endpoint, host: Host, naming: NameService, opts: OrbOptions) -> PardisResult<OrbCtx> {
-        // Each thread opens its own data port; advertise them to the
-        // whole machine.
-        let data_port = host.open_port();
+    pub fn init(
+        rts: Endpoint,
+        host: Host,
+        naming: NameService,
+        opts: OrbOptions,
+    ) -> PardisResult<OrbCtx> {
+        // Each thread opens its own data port, in rank order so the
+        // machine's port numbering is a pure function of thread count —
+        // this is what lets a seeded fault plan replay identically
+        // across runs. Then advertise the ports to the whole machine.
+        let mut data_port = None;
+        for r in 0..rts.size() {
+            if rts.rank() == r {
+                data_port = Some(host.open_port());
+            }
+            rts.barrier();
+        }
+        let data_port = data_port.expect("rank-ordered port open");
         let port_ids_u64 = rts.allgather_u64(data_port.port() as u64)?;
         let data_port_ids: Vec<PortId> = port_ids_u64.into_iter().map(|p| p as PortId).collect();
 
@@ -119,7 +145,9 @@ impl OrbCtx {
             endian: opts.endian,
             translate: opts.translate,
             resolve_timeout: opts.resolve_timeout,
+            frag_timeout: opts.frag_timeout,
             last_serve_timing: Cell::new(InvokeTiming::default()),
+            serve_decode_errors: Cell::new(0),
         })
     }
 
@@ -171,6 +199,12 @@ impl OrbCtx {
         self.last_serve_timing.get()
     }
 
+    /// How many datagrams the serve loop has skipped because they
+    /// failed to decode (e.g. corrupted by an injected fault).
+    pub fn serve_decode_errors(&self) -> u64 {
+        self.serve_decode_errors.get()
+    }
+
     /// A machine-unique request id: host, thread, then a counter.
     pub(crate) fn next_request_id(&self) -> u64 {
         let c = self.req_counter.get();
@@ -193,9 +227,7 @@ impl OrbCtx {
         distributions: Vec<pardis_net::ior::OpArgDist>,
     ) -> PardisResult<ObjectRef> {
         let type_id = servant.type_id().to_string();
-        self.servants
-            .borrow_mut()
-            .insert(name.to_string(), servant);
+        self.servants.borrow_mut().insert(name.to_string(), servant);
         let objref = ObjectRef {
             name: name.to_string(),
             type_id,

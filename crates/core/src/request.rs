@@ -356,6 +356,14 @@ pub struct RequestSpec {
     pub dist_args: Vec<DistArgSend>,
     /// False for `oneway` operations.
     pub response_expected: bool,
+    /// Relative deadline for the whole invocation. `None` (the default)
+    /// blocks indefinitely, as classic CORBA does; `Some` turns a lost
+    /// reply into [`crate::PardisError::Timeout`] instead of a hang.
+    pub deadline: Option<Duration>,
+    /// Whether re-executing the operation is safe (read-only and
+    /// `oneway` operations). Only idempotent invocations are eligible
+    /// for automatic retry under a [`crate::client::RetryPolicy`].
+    pub idempotent: bool,
 }
 
 impl RequestSpec {
@@ -366,7 +374,21 @@ impl RequestSpec {
             nondist_body: Bytes::new(),
             dist_args: Vec::new(),
             response_expected: true,
+            deadline: None,
+            idempotent: false,
         }
+    }
+
+    /// Set a relative deadline for the invocation.
+    pub fn with_deadline(mut self, deadline: Duration) -> RequestSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Mark the operation safe to re-execute (eligible for retry).
+    pub fn idempotent(mut self) -> RequestSpec {
+        self.idempotent = true;
+        self
     }
 }
 
@@ -464,10 +486,7 @@ mod tests {
     fn reply_body_roundtrip() {
         let body = ReplyBody {
             nondist: Bytes::from_static(b"result"),
-            dist_out: vec![
-                (0, 10, Some(Bytes::from(vec![1u8; 80]))),
-                (2, 4, None),
-            ],
+            dist_out: vec![(0, 10, Some(Bytes::from(vec![1u8; 80]))), (2, 4, None)],
         };
         let bytes = body.to_bytes(Endian::native());
         assert_eq!(ReplyBody::decode(&bytes, Endian::native()).unwrap(), body);

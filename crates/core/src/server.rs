@@ -235,44 +235,77 @@ impl OrbCtx {
     /// state kept in the returned payload pair.
     fn next_served_payload(&self, poll: Option<Duration>) -> PardisResult<Option<ServedPayload>> {
         if self.is_comm_thread() {
-            let dg = match poll {
-                None => Some(self.request_port.as_ref().expect("comm thread").recv()?),
-                Some(_) => self.request_port.as_ref().expect("comm thread").try_recv(),
+            // Pull datagrams until one decodes. A datagram corrupted in
+            // flight (injected frame faults) is counted and skipped so
+            // the serve loop survives it; the client's deadline/retry
+            // machinery recovers the lost request.
+            let parsed: Option<(Option<(RequestHeader, RequestBody)>, Bytes)> = loop {
+                let dg = match poll {
+                    None => Some(self.request_port.as_ref().expect("comm thread").recv()?),
+                    Some(_) => self.request_port.as_ref().expect("comm thread").try_recv(),
+                };
+                let dg = match dg {
+                    None => break None,
+                    Some(dg) => dg,
+                };
+                let decoded = GiopMessage::body_endian(&dg.payload)
+                    .and_then(|_| GiopMessage::decode(&dg.payload));
+                match decoded {
+                    Ok(GiopMessage::Request(header, body)) => {
+                        let endian = GiopMessage::body_endian(&dg.payload)?;
+                        match RequestBody::decode(&body, endian) {
+                            Ok(req) => break Some((Some((header, req)), dg.payload)),
+                            Err(_) => {
+                                self.serve_decode_errors
+                                    .set(self.serve_decode_errors.get() + 1);
+                                continue;
+                            }
+                        }
+                    }
+                    Ok(GiopMessage::CloseConnection) => break Some((None, dg.payload)),
+                    Ok(other) => {
+                        return Err(PardisError::Net(format!(
+                            "unexpected message on request port: {other:?}"
+                        )))
+                    }
+                    Err(_) => {
+                        self.serve_decode_errors
+                            .set(self.serve_decode_errors.get() + 1);
+                        continue;
+                    }
+                }
             };
             // Tell the other threads whether anything arrived.
-            let flag = dg.is_some() as u64;
-            self.rts.broadcast(0, Some(Bytes::copy_from_slice(&flag.to_le_bytes())))?;
-            let dg = match dg {
-                None => return Ok(None),
-                Some(dg) => dg,
-            };
-            let endian = GiopMessage::body_endian(&dg.payload)?;
-            match GiopMessage::decode(&dg.payload)? {
-                GiopMessage::Request(header, body) => {
-                    let req = RequestBody::decode(&body, endian)?;
+            let flag = parsed.is_some() as u64;
+            self.rts
+                .broadcast(0, Some(Bytes::copy_from_slice(&flag.to_le_bytes())))?;
+            match parsed {
+                None => Ok(None),
+                Some((Some((header, req)), payload)) => {
+                    let endian = GiopMessage::body_endian(&payload)?;
                     // Strip inline data before relaying.
                     let inline: Vec<Option<Bytes>> =
                         req.dist.iter().map(|(_, d)| d.clone()).collect();
                     let control = RequestBody {
                         nondist: req.nondist.clone(),
-                        dist: req
-                            .dist
-                            .iter()
-                            .map(|(m, _)| (m.clone(), None))
-                            .collect(),
+                        dist: req.dist.iter().map(|(m, _)| (m.clone(), None)).collect(),
                     };
-                    let control_wire = GiopMessage::Request(header.clone(), control.to_bytes(endian))
-                        .encode(endian);
+                    let control_wire =
+                        GiopMessage::Request(header.clone(), control.to_bytes(endian))
+                            .encode(endian);
                     self.rts.broadcast(0, Some(control_wire))?;
-                    Ok(Some(ServedPayload::new(header, control, endian, Some(inline))))
+                    Ok(Some(ServedPayload::new(
+                        header,
+                        control,
+                        endian,
+                        Some(inline),
+                    )))
                 }
-                GiopMessage::CloseConnection => {
-                    self.rts.broadcast(0, Some(dg.payload))?;
+                Some((None, payload)) => {
+                    let endian = GiopMessage::body_endian(&payload)?;
+                    self.rts.broadcast(0, Some(payload))?;
                     Ok(Some(ServedPayload::shutdown(endian)))
                 }
-                other => Err(PardisError::Net(format!(
-                    "unexpected message on request port: {other:?}"
-                ))),
             }
         } else {
             let flag = self.rts.broadcast(0, None)?;
@@ -312,17 +345,36 @@ impl OrbCtx {
         let t0 = Instant::now();
 
         // Materialize this thread's local parts of the distributed
-        // arguments.
-        let dist_in = match header.mode {
+        // arguments. A failure here (e.g. a multi-port fragment wait
+        // that hit `frag_timeout` because the client's frames were
+        // dropped) must NOT abort the serve loop: it is recorded and
+        // joins the machine-wide error agreement below, so the client
+        // gets an error Reply and the server stays up.
+        let received = match header.mode {
             TransferMode::Centralized => {
-                centralized::server_receive_args(self, &body, inline, &mut timing)?
+                centralized::server_receive_args(self, &body, inline, &mut timing)
             }
             TransferMode::MultiPort => {
-                multiport::server_receive_args(self, header.request_id, &body, &mut timing)?
+                multiport::server_receive_args(self, header.request_id, &body, &mut timing)
             }
         };
+        let (dist_in, recv_err) = match received {
+            Ok(v) => (v, None),
+            Err(e) => (Vec::new(), Some(e)),
+        };
 
-        // Dispatch into this thread's servant.
+        // Agree machine-wide on the receive outcome BEFORE dispatching:
+        // if one thread's fragments were lost, a thread that received
+        // everything must not enter the servant (whose SPMD code runs
+        // collectives) while its peer skips it — that mismatch
+        // deadlocks the machine.
+        let any_recv_err = self
+            .rts
+            .allreduce_f64(&[if recv_err.is_some() { 1.0 } else { 0.0 }], ReduceOp::Max)?[0]
+            > 0.0;
+
+        // Dispatch into this thread's servant (skipped when the
+        // arguments never materialized).
         let n_dist = dist_in.len();
         let mut sreq = ServerRequest {
             ctx: self,
@@ -333,18 +385,26 @@ impl OrbCtx {
             reply_nondist: Bytes::new(),
             reply_dist: vec![None; n_dist],
         };
-        let servant = self.servants.borrow_mut().remove(&header.object_name);
-        let result = match servant {
-            None => Err(PardisError::ObjectNotFound {
-                name: header.object_name.clone(),
-                host: Some(self.host.name()),
-            }),
-            Some(mut s) => {
-                let r = s.dispatch(&mut sreq);
-                self.servants
-                    .borrow_mut()
-                    .insert(header.object_name.clone(), s);
-                r
+        let result = if any_recv_err {
+            Err(recv_err.unwrap_or_else(|| {
+                PardisError::CommFailure(
+                    "argument receive failed on another computing thread".into(),
+                )
+            }))
+        } else {
+            let servant = self.servants.borrow_mut().remove(&header.object_name);
+            match servant {
+                None => Err(PardisError::ObjectNotFound {
+                    name: header.object_name.clone(),
+                    host: Some(self.host.name()),
+                }),
+                Some(mut s) => {
+                    let r = s.dispatch(&mut sreq);
+                    self.servants
+                        .borrow_mut()
+                        .insert(header.object_name.clone(), s);
+                    r
+                }
             }
         };
 

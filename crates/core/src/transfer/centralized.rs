@@ -19,7 +19,7 @@ use crate::error::{PardisError, PardisResult};
 use crate::orb::OrbCtx;
 use crate::request::{ReplyBody, ReplyResult, RequestBody, RequestSpec};
 use crate::server::{DistIn, ServerRequest};
-use crate::transfer::{pack_into, unpack_copy};
+use crate::transfer::{pack_into, status_to_result, synthetic_status, unpack_copy};
 use bytes::Bytes;
 use pardis_net::giop::{GiopMessage, ReplyHeader, ReplyStatus, RequestHeader, TransferMode};
 use std::time::Instant;
@@ -104,21 +104,44 @@ pub(crate) fn client_recv(
     let mut timing = pending.timing;
 
     // Communicating thread: pull the reply off the wire, strip inline
-    // data, relay the control part.
+    // data, relay the control part. A local receive failure (deadline
+    // exceeded, connection reset, undecodable reply) is converted into
+    // a synthetic error Reply and relayed the same way, so the other
+    // computing threads resolve to the same error instead of hanging.
     let mut inline: Vec<Option<Bytes>> = Vec::new();
     let control: (ReplyHeader, ReplyBody);
     if let Some(conn) = proxy.conn.as_ref() {
         let tr = Instant::now();
-        let (header, body_bytes) = proxy.recv_reply(conn, pending.req_id)?;
-        let body = ReplyBody::decode(&body_bytes, ctx.endian)?;
-        inline = body.dist_out.iter().map(|(_, _, d)| d.clone()).collect();
-        let stripped = ReplyBody {
-            nondist: body.nondist.clone(),
-            dist_out: body
-                .dist_out
-                .iter()
-                .map(|(i, l, _)| (*i, *l, None))
-                .collect(),
+        let received = pending
+            .send_failure()
+            .map(Err)
+            .unwrap_or_else(|| proxy.recv_reply(conn, pending.req_id, pending.deadline))
+            .and_then(|(header, body_bytes)| {
+                Ok((header, ReplyBody::decode(&body_bytes, ctx.endian)?))
+            });
+        let (header, stripped) = match received {
+            Ok((header, body)) => {
+                inline = body.dist_out.iter().map(|(_, _, d)| d.clone()).collect();
+                let stripped = ReplyBody {
+                    nondist: body.nondist.clone(),
+                    dist_out: body
+                        .dist_out
+                        .iter()
+                        .map(|(i, l, _)| (*i, *l, None))
+                        .collect(),
+                };
+                (header, stripped)
+            }
+            Err(e) => (
+                ReplyHeader {
+                    request_id: pending.req_id,
+                    status: synthetic_status(&e),
+                },
+                ReplyBody {
+                    nondist: Bytes::new(),
+                    dist_out: vec![],
+                },
+            ),
         };
         timing.recv_unpack += tr.elapsed();
         if proxy.collective {
@@ -216,14 +239,6 @@ fn split_by_templ(
             data.slice(r.start * elem_size..r.end * elem_size)
         })
         .collect())
-}
-
-fn status_to_result(status: &ReplyStatus) -> PardisResult<()> {
-    match status {
-        ReplyStatus::NoException => Ok(()),
-        ReplyStatus::UserException(name) => Err(PardisError::UserException(name.clone())),
-        ReplyStatus::SystemException(msg) => Err(PardisError::SystemException(msg.clone())),
-    }
 }
 
 /// Server side: materialize each thread's local parts of the distributed

@@ -22,7 +22,43 @@ pub mod multiport;
 use crate::error::{PardisError, PardisResult};
 use crate::orb::OrbCtx;
 use bytes::Bytes;
-use pardis_net::giop::{GiopMessage, TransferHeader};
+use pardis_net::giop::{GiopMessage, ReplyStatus, TransferHeader};
+use std::time::Instant;
+
+/// Prefix used when the communicating thread converts a local receive
+/// timeout into a synthetic relayed Reply, so every computing thread of
+/// the client resolves to the same [`PardisError::Timeout`].
+pub(crate) const SYNTH_TIMEOUT: &str = "TIMEOUT:";
+/// Same, for transport failures → [`PardisError::CommFailure`].
+pub(crate) const SYNTH_COMM_FAILURE: &str = "COMM_FAILURE:";
+
+/// Map a reply status to a client-visible result. Synthetic statuses
+/// fabricated by the communicating thread on a local receive failure
+/// are converted back to their typed CORBA-style errors.
+pub(crate) fn status_to_result(status: &ReplyStatus) -> PardisResult<()> {
+    match status {
+        ReplyStatus::NoException => Ok(()),
+        ReplyStatus::UserException(name) => Err(PardisError::UserException(name.clone())),
+        ReplyStatus::SystemException(msg) => {
+            if msg.strip_prefix(SYNTH_TIMEOUT).is_some() {
+                Err(PardisError::Timeout)
+            } else if let Some(rest) = msg.strip_prefix(SYNTH_COMM_FAILURE) {
+                Err(PardisError::CommFailure(rest.trim().to_string()))
+            } else {
+                Err(PardisError::SystemException(msg.clone()))
+            }
+        }
+    }
+}
+
+/// Build the synthetic status the communicating thread relays when its
+/// own receive phase failed.
+pub(crate) fn synthetic_status(e: &PardisError) -> ReplyStatus {
+    match e {
+        PardisError::Timeout => ReplyStatus::SystemException(format!("{SYNTH_TIMEOUT} {e}")),
+        other => ReplyStatus::SystemException(format!("{SYNTH_COMM_FAILURE} {other}")),
+    }
+}
 
 /// Marshal `src` into a fresh buffer. This is the "pack" cost of the
 /// paper's measurements: a full copy of the data, with an extra per-word
@@ -69,6 +105,7 @@ impl OrbCtx {
         req_id: u64,
         arg: u32,
         expected: usize,
+        deadline: Option<Instant>,
     ) -> PardisResult<Vec<(TransferHeader, Bytes)>> {
         let mut got = Vec::with_capacity(expected);
         // Drain anything already buffered.
@@ -88,7 +125,10 @@ impl OrbCtx {
         }
         // Then read from the port.
         while got.len() < expected {
-            let dg = self.data_port.recv().map_err(PardisError::from)?;
+            let dg = self
+                .data_port
+                .recv_deadline(deadline)
+                .map_err(PardisError::from)?;
             match GiopMessage::decode(&dg.payload)? {
                 GiopMessage::DataTransfer(h, body) => {
                     if h.request_id == req_id && h.arg_index == arg {

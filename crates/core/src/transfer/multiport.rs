@@ -23,7 +23,7 @@ use crate::error::{PardisError, PardisResult};
 use crate::orb::OrbCtx;
 use crate::request::{ReplyBody, ReplyResult, RequestBody, RequestSpec};
 use crate::server::{DistIn, ServerRequest};
-use crate::transfer::pack_copy;
+use crate::transfer::{pack_copy, status_to_result, synthetic_status};
 use bytes::Bytes;
 use pardis_net::giop::{
     GiopMessage, ReplyHeader, ReplyStatus, RequestHeader, TransferHeader, TransferMode,
@@ -105,7 +105,12 @@ pub(crate) fn client_send(
             );
             pending.timing.pack += tp.elapsed();
             let ts = Instant::now();
-            ctx.host.send_to(
+            // Send from this thread's own data port: fragment flows are
+            // then distinct per (source thread, destination thread),
+            // which keeps seeded fault decisions independent of how the
+            // sending threads interleave.
+            ctx.host.send_from(
+                ctx.data_port.port(),
                 proxy.objref.host,
                 proxy.objref.data_ports[dst],
                 msg.encode(ctx.endian),
@@ -129,12 +134,37 @@ pub(crate) fn client_recv(
     let control: (ReplyHeader, ReplyBody);
     if let Some(conn) = proxy.conn.as_ref() {
         let tr = Instant::now();
-        let (header, body_bytes) = proxy.recv_reply(conn, pending.req_id)?;
-        let body = ReplyBody::decode(&body_bytes, ctx.endian)?;
+        // A local receive failure becomes a synthetic error Reply,
+        // relayed like a real one so no computing thread hangs.
+        let received = pending
+            .send_failure()
+            .map(Err)
+            .unwrap_or_else(|| proxy.recv_reply(conn, pending.req_id, pending.deadline))
+            .and_then(|(header, body_bytes)| {
+                Ok((
+                    header,
+                    body_bytes.clone(),
+                    ReplyBody::decode(&body_bytes, ctx.endian)?,
+                ))
+            });
+        let (header, body_bytes, body) = match received {
+            Ok(ok) => ok,
+            Err(e) => {
+                let header = ReplyHeader {
+                    request_id: pending.req_id,
+                    status: synthetic_status(&e),
+                };
+                let body = ReplyBody {
+                    nondist: Bytes::new(),
+                    dist_out: vec![],
+                };
+                let bytes = body.to_bytes(ctx.endian);
+                (header, bytes, body)
+            }
+        };
         timing.recv_unpack += tr.elapsed();
         if proxy.collective {
-            let wire =
-                GiopMessage::Reply(header.clone(), body_bytes.clone()).encode(ctx.endian);
+            let wire = GiopMessage::Reply(header.clone(), body_bytes.clone()).encode(ctx.endian);
             ctx.rts.broadcast(0, Some(wire))?;
         }
         control = (header, body);
@@ -151,13 +181,7 @@ pub(crate) fn client_recv(
     }
 
     let (header, body) = control;
-    match &header.status {
-        ReplyStatus::NoException => {}
-        ReplyStatus::UserException(name) => return Err(PardisError::UserException(name.clone())),
-        ReplyStatus::SystemException(msg) => {
-            return Err(PardisError::SystemException(msg.clone()))
-        }
-    }
+    status_to_result(&header.status)?;
 
     // Collect this thread's fragments for each returning argument.
     let my_thread = if proxy.collective { ctx.rank() } else { 0 };
@@ -180,7 +204,7 @@ pub(crate) fn client_recv(
         }
         let expected = d.client_templ.incoming_count(my_thread, &d.server_templ);
         let tr = Instant::now();
-        let frags = ctx.recv_fragments(pending.req_id, *arg_idx, expected)?;
+        let frags = ctx.recv_fragments(pending.req_id, *arg_idx, expected, pending.deadline)?;
         let local = ctx.assemble_local(&frags, &d.client_templ, d.elem_size)?;
         timing.recv_unpack += tr.elapsed();
         dist_out.push((*arg_idx, local));
@@ -215,7 +239,11 @@ pub(crate) fn server_receive_args(
         let local = if meta.dir.sends() {
             let expected = server_templ.incoming_count(ctx.rank(), &client_templ);
             let tr = Instant::now();
-            let frags = ctx.recv_fragments(req_id, i as u32, expected)?;
+            // The fragment wait is bounded by the ORB's configured
+            // timeout; a dropped fragment then degrades to an error
+            // reply instead of wedging the serve loop.
+            let deadline = ctx.frag_timeout.map(|t| Instant::now() + t);
+            let frags = ctx.recv_fragments(req_id, i as u32, expected, deadline)?;
             let local = ctx.assemble_local(&frags, &server_templ, meta.elem_size)?;
             timing.recv_unpack += tr.elapsed();
             local
@@ -303,8 +331,12 @@ pub(crate) fn server_send_reply(
             );
             timing.pack += tp.elapsed();
             let ts = Instant::now();
-            ctx.host
-                .send_to(client_host, client_ports[dst], msg.encode(endian))?;
+            ctx.host.send_from(
+                ctx.data_port.port(),
+                client_host,
+                client_ports[dst],
+                msg.encode(endian),
+            )?;
             timing.send += ts.elapsed();
         }
     }

@@ -183,7 +183,12 @@ mod tests {
         let m = world.spawn_machine("m", 3, |ctx| {
             // All threads agree on the request port and the data port
             // table lists this thread's own port at its rank.
-            (ctx.request_port_id, ctx.data_port_ids.clone(), ctx.data_port.port(), ctx.rank())
+            (
+                ctx.request_port_id,
+                ctx.data_port_ids.clone(),
+                ctx.data_port.port(),
+                ctx.rank(),
+            )
         });
         let r = m.join();
         let req_port = r[0].0;

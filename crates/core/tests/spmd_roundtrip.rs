@@ -68,12 +68,20 @@ fn diffuse(ctx: &OrbCtx, arr: &mut DSequence<f64>, steps: usize) -> PardisResult
         let mut left_halo = None;
         let mut right_halo = None;
         if rank > 0 {
-            rts.send(rank - 1, HALO_L, bytes::Bytes::copy_from_slice(&left_edge.to_le_bytes()))
-                .map_err(PardisError::from)?;
+            rts.send(
+                rank - 1,
+                HALO_L,
+                bytes::Bytes::copy_from_slice(&left_edge.to_le_bytes()),
+            )
+            .map_err(PardisError::from)?;
         }
         if rank + 1 < size {
-            rts.send(rank + 1, HALO_R, bytes::Bytes::copy_from_slice(&right_edge.to_le_bytes()))
-                .map_err(PardisError::from)?;
+            rts.send(
+                rank + 1,
+                HALO_R,
+                bytes::Bytes::copy_from_slice(&right_edge.to_le_bytes()),
+            )
+            .map_err(PardisError::from)?;
         }
         if rank + 1 < size {
             let b = rts.recv(rank + 1, HALO_L).map_err(PardisError::from)?;
@@ -149,9 +157,7 @@ fn spmd_diffusion_roundtrip(mode: TransferMode, c: usize, n: usize, len: usize, 
         let mut w = pardis_cdr::CdrWriter::new(ctx.endian());
         w.put_i32(steps as i32);
         spec.nondist_body = w.into_shared();
-        spec.dist_args = vec![proxy
-            .dist_arg("diffusion", 0, ArgDir::InOut, &seq)
-            .unwrap()];
+        spec.dist_args = vec![proxy.dist_arg("diffusion", 0, ArgDir::InOut, &seq).unwrap()];
 
         let reply = proxy.invoke(&ctx, spec).unwrap();
         let new_local: Vec<f64> =
@@ -290,8 +296,9 @@ fn nd_bind_multiport_single_client_thread() {
         let mut w = pardis_cdr::CdrWriter::new(ctx.endian());
         w.put_i32(1);
         spec.nondist_body = w.into_shared();
-        spec.dist_args =
-            vec![proxy.dist_arg_nd("diffusion", 0, ArgDir::InOut, &data).unwrap()];
+        spec.dist_args = vec![proxy
+            .dist_arg_nd("diffusion", 0, ArgDir::InOut, &data)
+            .unwrap()];
         let reply = proxy.invoke(&ctx, spec).unwrap();
         let got: Vec<f64> = pardis_core::Elem::from_native_bytes(reply.dist_local(0).unwrap());
         let mut want = data.clone();
@@ -381,7 +388,9 @@ fn interface_mismatch_detected_at_bind() {
     let world = World::new(LinkSpec::unlimited());
     let server = start_server(&world, 1, vec![]);
     let client = world.spawn_machine("client", 1, move |ctx| {
-        let err = ctx.bind("example", None, Some("IDL:other:1.0")).unwrap_err();
+        let err = ctx
+            .bind("example", None, Some("IDL:other:1.0"))
+            .unwrap_err();
         assert!(matches!(err, PardisError::InterfaceMismatch { .. }));
         // Clean shutdown via a correctly typed proxy.
         let proxy = ctx.bind("example", None, Some(DIFF_TYPE)).unwrap();
@@ -397,7 +406,8 @@ fn poll_requests_interrupts_computation() {
     // when it chooses to (paper §2.1).
     let world = World::new(LinkSpec::unlimited());
     let server = world.spawn_machine("server", 2, |ctx| {
-        ctx.register("example", Box::new(DiffServant), vec![]).unwrap();
+        ctx.register("example", Box::new(DiffServant), vec![])
+            .unwrap();
         let mut served = 0usize;
         let mut iterations = 0usize;
         while served < 2 {
@@ -435,7 +445,8 @@ fn translation_mode_roundtrips() {
     };
     let o2 = opts.clone();
     let server = world.spawn_machine_with("server", 2, opts, |ctx| {
-        ctx.register("example", Box::new(DiffServant), vec![]).unwrap();
+        ctx.register("example", Box::new(DiffServant), vec![])
+            .unwrap();
         ctx.serve_forever().unwrap();
     });
     let client = world.spawn_machine_with("client", 2, o2, move |ctx| {

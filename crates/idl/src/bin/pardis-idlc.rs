@@ -33,7 +33,9 @@ fn main() -> ExitCode {
             "--emit-idl" => emit_idl = true,
             "--emit-doc" => emit_doc = true,
             "-h" | "--help" => {
-                println!("usage: pardis-idlc [--check|--emit-idl|--emit-doc] [-o OUT.rs] INPUT.idl");
+                println!(
+                    "usage: pardis-idlc [--check|--emit-idl|--emit-doc] [-o OUT.rs] INPUT.idl"
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -98,15 +100,15 @@ fn main() -> ExitCode {
                 print!("{code}");
                 ExitCode::SUCCESS
             }
-            Some(path) => match std::fs::File::create(&path)
-                .and_then(|mut f| f.write_all(code.as_bytes()))
-            {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("pardis-idlc: cannot write {path}: {e}");
-                    ExitCode::FAILURE
+            Some(path) => {
+                match std::fs::File::create(&path).and_then(|mut f| f.write_all(code.as_bytes())) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("pardis-idlc: cannot write {path}: {e}");
+                        ExitCode::FAILURE
+                    }
                 }
-            },
+            }
         },
         Err(diags) => {
             eprintln!("{diags}");

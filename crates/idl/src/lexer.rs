@@ -170,9 +170,7 @@ impl<'a> Lexer<'a> {
             b'0'..=b'9' => self.number(pos),
             c if c == b'_' || c.is_ascii_alphabetic() => {
                 let mut s = String::new();
-                while !self.eof()
-                    && (self.peek() == b'_' || self.peek().is_ascii_alphanumeric())
-                {
+                while !self.eof() && (self.peek() == b'_' || self.peek().is_ascii_alphanumeric()) {
                     s.push(self.bump() as char);
                 }
                 Ok(match Kw::from_str(&s) {
@@ -203,10 +201,9 @@ impl<'a> Lexer<'a> {
                         b'\\' => s.push('\\'),
                         b'"' => s.push('"'),
                         other => {
-                            return Err(self.err(
-                                pos,
-                                format!("unknown escape `\\{}`", other as char),
-                            ))
+                            return Err(
+                                self.err(pos, format!("unknown escape `\\{}`", other as char))
+                            )
                         }
                     }
                 }
@@ -329,10 +326,7 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            toks(r#""a\nb\"c""#)[0],
-            Tok::StrLit("a\nb\"c".to_string())
-        );
+        assert_eq!(toks(r#""a\nb\"c""#)[0], Tok::StrLit("a\nb\"c".to_string()));
     }
 
     #[test]

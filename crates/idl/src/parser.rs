@@ -601,7 +601,12 @@ mod tests {
                 let tys: Vec<&Type> = i.ops[0].params.iter().map(|p| &p.ty).collect();
                 assert_eq!(
                     tys,
-                    vec![&Type::UShort, &Type::ULong, &Type::ULongLong, &Type::LongLong]
+                    vec![
+                        &Type::UShort,
+                        &Type::ULong,
+                        &Type::ULongLong,
+                        &Type::LongLong
+                    ]
                 );
             }
             other => panic!("{other:?}"),
@@ -610,8 +615,9 @@ mod tests {
 
     #[test]
     fn dsequence_with_distribution_annotation() {
-        let spec = parse_src("typedef dsequence<double, 1024, block> a; typedef dsequence<long> b;")
-            .unwrap();
+        let spec =
+            parse_src("typedef dsequence<double, 1024, block> a; typedef dsequence<long> b;")
+                .unwrap();
         match &spec.defs[0] {
             Def::Typedef(t) => assert_eq!(
                 t.ty,

@@ -495,7 +495,10 @@ mod tests {
     #[test]
     fn typedef_chains_resolve() {
         let m = model("typedef long a; typedef a b; typedef b c;").unwrap();
-        assert_eq!(m.resolve_type(&Type::Named("c".into()), "").unwrap(), RType::Long);
+        assert_eq!(
+            m.resolve_type(&Type::Named("c".into()), "").unwrap(),
+            RType::Long
+        );
     }
 
     #[test]
@@ -506,7 +509,9 @@ mod tests {
         )
         .unwrap();
         // Lookup from inside the module.
-        let rt = m.resolve_type(&Type::Named("field".into()), "phys").unwrap();
+        let rt = m
+            .resolve_type(&Type::Named("field".into()), "phys")
+            .unwrap();
         assert_eq!(rt, RType::DSequence(DElem::Double, None));
         // Qualified lookup from outside.
         let rt = m

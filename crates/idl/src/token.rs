@@ -146,7 +146,11 @@ mod tests {
         assert_eq!(Kw::from_str("interface"), Some(Kw::Interface));
         assert_eq!(Kw::from_str("dsequence"), Some(Kw::DSequence));
         assert_eq!(Kw::from_str("TRUE"), Some(Kw::True_));
-        assert_eq!(Kw::from_str("Interface"), None, "keywords are case-sensitive");
+        assert_eq!(
+            Kw::from_str("Interface"),
+            None,
+            "keywords are case-sensitive"
+        );
         assert_eq!(Kw::from_str("diffusion"), None);
     }
 

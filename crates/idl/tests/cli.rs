@@ -27,7 +27,11 @@ interface diff_object {
 fn compiles_to_stdout() {
     let path = write_temp("good.idl", GOOD);
     let out = idlc().arg(&path).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let code = String::from_utf8(out.stdout).unwrap();
     assert!(code.contains("pub struct diff_objectProxy"));
     assert!(code.contains("pub fn diffusion_nd_nb"));
@@ -74,7 +78,13 @@ fn emit_idl_normalizes() {
     assert!(text.contains("void f(in long a);"));
     // The normalized form still compiles.
     let norm = write_temp("normalized.idl", &text);
-    assert!(idlc().arg("--check").arg(&norm).output().unwrap().status.success());
+    assert!(idlc()
+        .arg("--check")
+        .arg(&norm)
+        .output()
+        .unwrap()
+        .status
+        .success());
 }
 
 #[test]

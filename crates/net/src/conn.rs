@@ -69,6 +69,14 @@ impl Connection {
         GiopMessage::decode(&dg.payload)
     }
 
+    /// Receive with an optional absolute deadline; `None` blocks like
+    /// [`Connection::recv`], `Some` fails with [`NetError::Timeout`]
+    /// once the deadline passes.
+    pub fn recv_deadline(&self, deadline: Option<std::time::Instant>) -> NetResult<GiopMessage> {
+        let dg = self.local.recv_deadline(deadline)?;
+        GiopMessage::decode(&dg.payload)
+    }
+
     /// Receive with a timeout; `None` on timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> NetResult<Option<GiopMessage>> {
         match self.local.recv_timeout(timeout) {

@@ -27,6 +27,19 @@ pub enum NetError {
     },
     /// A GIOP-level message failed to decode.
     BadMessage(String),
+    /// The connection between two hosts was reset mid-stream (CORBA
+    /// `COMM_FAILURE` territory; injected by a fault plan's per-flow
+    /// frame budget).
+    ConnectionReset {
+        from: crate::HostId,
+        to: crate::HostId,
+    },
+    /// A blocking receive exceeded its deadline (CORBA `TIMEOUT`
+    /// territory).
+    Timeout {
+        host: crate::HostId,
+        port: crate::PortId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -43,6 +56,15 @@ impl fmt::Display for NetError {
                 write!(f, "no link between hosts {from:?} and {to:?}")
             }
             NetError::BadMessage(msg) => write!(f, "malformed message: {msg}"),
+            NetError::ConnectionReset { from, to } => {
+                write!(f, "connection reset between hosts {from:?} and {to:?}")
+            }
+            NetError::Timeout { host, port } => {
+                write!(
+                    f,
+                    "receive deadline exceeded on port {port} of host {host:?}"
+                )
+            }
         }
     }
 }

@@ -6,12 +6,13 @@
 //! receiver half, [`PortRecv`]) — this is how "each computing thread of
 //! the SPMD object opens a network connection on a separate port" (§3.3).
 
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::link::{Link, LinkSpec};
 use crate::{Datagram, NetError, NetResult};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,9 @@ pub type PortId = u32;
 struct HostEntry {
     name: String,
     ports: HashMap<PortId, Sender<Datagram>>,
+    /// Ports administratively killed (fault injection): distinguishes a
+    /// deliberate kill from a port that was never opened.
+    killed: HashSet<PortId>,
     next_port: PortId,
 }
 
@@ -36,6 +40,9 @@ struct FabricInner {
     links: RwLock<HashMap<(HostId, HostId), Arc<Link>>>,
     /// Link used for any host pair without an explicit entry, if set.
     default_link: RwLock<Option<Arc<Link>>>,
+    /// Installed fault plan, if any. `None` is the fast path: one read
+    /// lock and a pointer check per send.
+    faults: RwLock<Option<Arc<FaultState>>>,
 }
 
 /// A simulated internetwork of hosts.
@@ -62,6 +69,7 @@ impl Fabric {
                 hosts: RwLock::new(Vec::new()),
                 links: RwLock::new(HashMap::new()),
                 default_link: RwLock::new(None),
+                faults: RwLock::new(None),
             }),
         }
     }
@@ -73,6 +81,7 @@ impl Fabric {
         hosts.push(HostEntry {
             name: name.to_string(),
             ports: HashMap::new(),
+            killed: HashSet::new(),
             // Port 0 is reserved as "no reply expected".
             next_port: 1,
         });
@@ -132,9 +141,13 @@ impl Fabric {
 
     fn deliver(&self, to: HostId, port: PortId, dg: Datagram) -> NetResult<()> {
         let hosts = self.inner.hosts.read();
-        let entry = hosts
-            .get(to.0 as usize)
-            .ok_or(NetError::UnknownHost(to))?;
+        let entry = hosts.get(to.0 as usize).ok_or(NetError::UnknownHost(to))?;
+        if entry.killed.contains(&port) {
+            if let Some(f) = self.inner.faults.read().as_ref() {
+                f.count_dead_port_hit();
+            }
+            return Err(NetError::PortClosed { host: to, port });
+        }
         let tx = entry
             .ports
             .get(&port)
@@ -155,6 +168,12 @@ impl Fabric {
         payload: Bytes,
     ) -> NetResult<Duration> {
         let link = self.route(src_host, dst_host)?;
+        let faults = self.inner.faults.read().clone();
+        if let Some(faults) = faults {
+            return self.send_faulted(
+                &faults, src_host, src_port, dst_host, dst_port, payload, link,
+            );
+        }
         let (wire, latency) = match &link {
             Some(l) => (l.transmit(payload.len()), l.spec().latency),
             None => (Duration::ZERO, Duration::ZERO),
@@ -172,6 +191,103 @@ impl Fabric {
             },
         )?;
         Ok(wire)
+    }
+
+    /// The faulted twin of [`Fabric::send`]: asks the plan for this
+    /// message's fate, then transmits/corrupts/drops accordingly.
+    #[allow(clippy::too_many_arguments)]
+    fn send_faulted(
+        &self,
+        faults: &FaultState,
+        src_host: HostId,
+        src_port: PortId,
+        dst_host: HostId,
+        dst_port: PortId,
+        payload: Bytes,
+        link: Option<Arc<Link>>,
+    ) -> NetResult<Duration> {
+        let mtu = link
+            .as_ref()
+            .map(|l| l.spec().mtu)
+            .unwrap_or(LinkSpec::unlimited().mtu);
+        let fate = faults.judge((src_host, src_port, dst_host, dst_port), payload.len(), mtu);
+        if fate.reset {
+            return Err(NetError::ConnectionReset {
+                from: src_host,
+                to: dst_host,
+            });
+        }
+        // The wire is occupied whether or not the frames arrive.
+        let (wire, latency) = match &link {
+            Some(l) => (l.transmit(payload.len()), l.spec().latency),
+            None => (Duration::ZERO, Duration::ZERO),
+        };
+        if fate.drop {
+            // Silent loss: the sender believes the send succeeded.
+            return Ok(wire);
+        }
+        let payload = if fate.corrupt_at.is_empty() {
+            payload
+        } else {
+            let mut bytes = payload.to_vec();
+            for off in fate.corrupt_at {
+                bytes[off] ^= 0x80 | (1 << (off % 7));
+            }
+            Bytes::from(bytes)
+        };
+        self.deliver(
+            dst_host,
+            dst_port,
+            Datagram {
+                src_host,
+                src_port,
+                payload,
+                deliver_at: Instant::now() + latency + fate.extra_latency,
+            },
+        )?;
+        Ok(wire)
+    }
+
+    /// Install a fault plan: kills the plan's dead ports immediately and
+    /// applies its frame/message fates to every subsequent send.
+    /// Replaces any previously installed plan (and its stats).
+    pub fn install_faults(&self, plan: FaultPlan) {
+        for &(host, port) in plan.dead_ports() {
+            self.kill_port(host, port);
+        }
+        *self.inner.faults.write() = Some(Arc::new(FaultState::new(plan)));
+    }
+
+    /// Remove the installed fault plan. Killed ports stay dead: a real
+    /// crashed peer does not come back because monitoring stopped.
+    pub fn clear_faults(&self) {
+        *self.inner.faults.write() = None;
+    }
+
+    /// Counters of injected faults, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.inner.faults.read().as_ref().map(|f| f.stats())
+    }
+
+    /// Administratively kill a port: its receiver unblocks with
+    /// `PortClosed`, queued datagrams are lost, and future senders get
+    /// `PortClosed` instead of `UnknownPort`.
+    pub fn kill_port(&self, host: HostId, port: PortId) {
+        let mut hosts = self.inner.hosts.write();
+        if let Some(entry) = hosts.get_mut(host.0 as usize) {
+            entry.ports.remove(&port);
+            entry.killed.insert(port);
+        }
+    }
+
+    /// Whether `(host, port)` is open and not killed. Multi-port
+    /// senders probe this before committing to a transfer plan.
+    pub fn port_alive(&self, host: HostId, port: PortId) -> bool {
+        let hosts = self.inner.hosts.read();
+        hosts
+            .get(host.0 as usize)
+            .map(|e| e.ports.contains_key(&port) && !e.killed.contains(&port))
+            .unwrap_or(false)
     }
 }
 
@@ -236,7 +352,12 @@ impl Host {
     }
 
     /// Send from an anonymous source port.
-    pub fn send_to(&self, dst_host: HostId, dst_port: PortId, payload: Bytes) -> NetResult<Duration> {
+    pub fn send_to(
+        &self,
+        dst_host: HostId,
+        dst_port: PortId,
+        payload: Bytes,
+    ) -> NetResult<Duration> {
         self.fabric.send(self.id, 0, dst_host, dst_port, payload)
     }
 
@@ -248,7 +369,8 @@ impl Host {
         dst_port: PortId,
         payload: Bytes,
     ) -> NetResult<Duration> {
-        self.fabric.send(self.id, src_port, dst_host, dst_port, payload)
+        self.fabric
+            .send(self.id, src_port, dst_host, dst_port, payload)
     }
 }
 
@@ -295,6 +417,30 @@ impl PortRecv {
         let dg = self.rx.recv_timeout(timeout).ok()?;
         Self::await_delivery(&dg);
         Some(dg)
+    }
+
+    /// Receive with an optional absolute deadline. `None` blocks
+    /// indefinitely (identical to [`PortRecv::recv`]); `Some` returns
+    /// [`NetError::Timeout`] once the deadline passes.
+    pub fn recv_deadline(&self, deadline: Option<Instant>) -> NetResult<Datagram> {
+        let Some(deadline) = deadline else {
+            return self.recv();
+        };
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(timeout) {
+            Ok(dg) => {
+                Self::await_delivery(&dg);
+                Ok(dg)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout {
+                host: self.host,
+                port: self.port,
+            }),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::PortClosed {
+                host: self.host,
+                port: self.port,
+            }),
+        }
     }
 
     fn await_delivery(dg: &Datagram) {
@@ -408,6 +554,113 @@ mod tests {
             a.send_to(b.id(), port, Bytes::new()),
             Err(NetError::PortClosed { .. })
         ));
+    }
+
+    #[test]
+    fn killed_port_unblocks_receiver_and_refuses_senders() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let p = b.open_port();
+        let port = p.port();
+        assert!(fabric.port_alive(b.id(), port));
+
+        let waiter = std::thread::spawn(move || p.recv());
+        std::thread::sleep(Duration::from_millis(10));
+        fabric.kill_port(b.id(), port);
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(NetError::PortClosed { .. })
+        ));
+        assert!(!fabric.port_alive(b.id(), port));
+        assert!(matches!(
+            a.send_to(b.id(), port, Bytes::new()),
+            Err(NetError::PortClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn installed_plan_drops_deterministically() {
+        let run = |seed: u64| {
+            let fabric = Fabric::shared_link(LinkSpec::unlimited());
+            let a = fabric.add_host("a");
+            let b = fabric.add_host("b");
+            let p = b.open_port();
+            fabric.install_faults(crate::FaultPlan::new(seed).with_frame_drop(200_000));
+            let mut delivered = Vec::new();
+            for i in 0..200u32 {
+                a.send_from(7, b.id(), p.port(), Bytes::from(vec![i as u8]))
+                    .unwrap();
+                if let Some(dg) = p.recv_timeout(Duration::from_millis(20)) {
+                    delivered.push(dg.payload[0]);
+                }
+            }
+            (delivered, fabric.fault_stats().unwrap())
+        };
+        let (d1, s1) = run(99);
+        let (d2, s2) = run(99);
+        assert_eq!(d1, d2, "same seed must replay the same losses");
+        assert_eq!(s1, s2);
+        assert!(s1.messages_dropped > 0, "20% drop over 200 sends");
+        assert!(d1.len() as u64 + s1.messages_dropped == 200);
+        let (d3, _) = run(100);
+        assert_ne!(d1, d3, "different seed, different losses");
+    }
+
+    #[test]
+    fn reset_budget_fails_later_sends() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let p = b.open_port();
+        fabric.install_faults(crate::FaultPlan::new(5).with_reset_after(3));
+        for _ in 0..3 {
+            a.send_from(9, b.id(), p.port(), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        assert!(matches!(
+            a.send_from(9, b.id(), p.port(), Bytes::from_static(b"x")),
+            Err(NetError::ConnectionReset { .. })
+        ));
+        // A different flow (other source port) still works.
+        a.send_from(10, b.id(), p.port(), Bytes::from_static(b"y"))
+            .unwrap();
+        assert_eq!(fabric.fault_stats().unwrap().connection_resets, 1);
+    }
+
+    #[test]
+    fn corruption_alters_payload_in_place() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let p = b.open_port();
+        fabric.install_faults(
+            crate::FaultPlan::new(11).with_frame_corruption(crate::fault::PER_MILLION),
+        );
+        let sent = vec![0u8; 64];
+        a.send_from(3, b.id(), p.port(), Bytes::from(sent.clone()))
+            .unwrap();
+        let got = p.recv().unwrap().payload;
+        assert_eq!(got.len(), sent.len());
+        assert_ne!(&got[..], &sent[..], "a byte must have been flipped");
+        assert_eq!(fabric.fault_stats().unwrap().messages_corrupted, 1);
+    }
+
+    #[test]
+    fn clear_faults_restores_clean_path() {
+        let fabric = Fabric::shared_link(LinkSpec::unlimited());
+        let a = fabric.add_host("a");
+        let b = fabric.add_host("b");
+        let p = b.open_port();
+        fabric.install_faults(crate::FaultPlan::new(1).with_frame_drop(crate::fault::PER_MILLION));
+        a.send_to(b.id(), p.port(), Bytes::from_static(b"gone"))
+            .unwrap();
+        assert!(p.recv_timeout(Duration::from_millis(10)).is_none());
+        fabric.clear_faults();
+        assert!(fabric.fault_stats().is_none());
+        a.send_to(b.id(), p.port(), Bytes::from_static(b"kept"))
+            .unwrap();
+        assert_eq!(&p.recv().unwrap().payload[..], b"kept");
     }
 
     #[test]

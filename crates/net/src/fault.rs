@@ -1,0 +1,392 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! The paper's testbed is a dedicated, loss-free ATM circuit; a
+//! production ORB is not so lucky. A [`FaultPlan`] describes a
+//! repeatable pattern of network misbehavior — dropped frames,
+//! corrupted frames, latency spikes, per-flow connection resets, and
+//! dead ports — all derived from one `u64` seed.
+//!
+//! **Determinism.** Every decision is a pure function of
+//! `(seed, flow, per-flow counter)`, where a *flow* is the 4-tuple
+//! `(src_host, src_port, dst_host, dst_port)`. Messages on one flow are
+//! sent in program order, so per-flow counters — and therefore every
+//! drop/corrupt/spike/reset decision — replay bit-for-bit from the same
+//! seed regardless of how threads interleave *across* flows. This is
+//! the wall-clock analogue of the simulator's no-wall-clock DES
+//! discipline: the chaos is scheduled, not sampled.
+//!
+//! The plan is installed on a [`crate::Fabric`] and observed by
+//! everything layered above it: [`crate::Link`] traffic is charged
+//! normally for dropped frames (the wire was occupied), and
+//! [`crate::conn::Connection`] sends/receives see the induced
+//! `ConnectionReset`/silent-loss behavior.
+
+use crate::fabric::{HostId, PortId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Probability scale: decisions are expressed per million events.
+pub const PER_MILLION: u32 = 1_000_000;
+
+const SALT_DROP: u64 = 0xD509;
+const SALT_CORRUPT: u64 = 0xC0DE;
+const SALT_SPIKE: u64 = 0x5111;
+
+/// A seeded, replayable description of network misbehavior.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-frame probability (in events per million) that a frame — and
+    /// with it the whole message — is silently lost.
+    drop_per_million: u32,
+    /// Per-frame probability that one byte of the frame is flipped.
+    corrupt_per_million: u32,
+    /// Per-message probability of an added latency spike.
+    spike_per_million: u32,
+    /// Extra one-way latency charged on a spiked message.
+    spike: Duration,
+    /// Per-flow frame budget: a flow that has carried this many frames
+    /// gets `ConnectionReset` on every further send.
+    reset_after_frames: Option<u64>,
+    /// Ports killed the moment the plan is installed.
+    dead_ports: Vec<(HostId, PortId)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (yet); chain `with_*` calls.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_per_million: 0,
+            corrupt_per_million: 0,
+            spike_per_million: 0,
+            spike: Duration::ZERO,
+            reset_after_frames: None,
+            dead_ports: Vec::new(),
+        }
+    }
+
+    /// The seed this plan derives every decision from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drop individual frames with probability `per_million` / 10^6.
+    /// A dropped frame loses its whole message (no partial delivery).
+    pub fn with_frame_drop(mut self, per_million: u32) -> FaultPlan {
+        self.drop_per_million = per_million.min(PER_MILLION);
+        self
+    }
+
+    /// Flip one byte per affected frame with probability
+    /// `per_million` / 10^6.
+    pub fn with_frame_corruption(mut self, per_million: u32) -> FaultPlan {
+        self.corrupt_per_million = per_million.min(PER_MILLION);
+        self
+    }
+
+    /// Add `extra` one-way latency to a message with probability
+    /// `per_million` / 10^6.
+    pub fn with_latency_spikes(mut self, per_million: u32, extra: Duration) -> FaultPlan {
+        self.spike_per_million = per_million.min(PER_MILLION);
+        self.spike = extra;
+        self
+    }
+
+    /// After a flow has carried `frames` frames, reset it: every
+    /// further send on that flow fails with
+    /// [`crate::NetError::ConnectionReset`].
+    pub fn with_reset_after(mut self, frames: u64) -> FaultPlan {
+        self.reset_after_frames = Some(frames);
+        self
+    }
+
+    /// Kill `(host, port)` when the plan is installed: queued and
+    /// future datagrams are lost and senders get `PortClosed`.
+    pub fn with_dead_port(mut self, host: HostId, port: PortId) -> FaultPlan {
+        self.dead_ports.push((host, port));
+        self
+    }
+
+    pub(crate) fn dead_ports(&self) -> &[(HostId, PortId)] {
+        &self.dead_ports
+    }
+}
+
+/// Counters of injected faults, for assertions and replay checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames the drop decision hit.
+    pub frames_dropped: u64,
+    /// Messages silently lost (one or more of their frames dropped).
+    pub messages_dropped: u64,
+    /// Frames that had a byte flipped.
+    pub frames_corrupted: u64,
+    /// Messages delivered with at least one corrupted frame.
+    pub messages_corrupted: u64,
+    /// Messages delayed by a latency spike.
+    pub latency_spikes: u64,
+    /// Sends refused with `ConnectionReset`.
+    pub connection_resets: u64,
+    /// Sends that hit a killed port.
+    pub dead_port_hits: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    frames_dropped: AtomicU64,
+    messages_dropped: AtomicU64,
+    frames_corrupted: AtomicU64,
+    messages_corrupted: AtomicU64,
+    latency_spikes: AtomicU64,
+    connection_resets: AtomicU64,
+    dead_port_hits: AtomicU64,
+}
+
+#[derive(Default)]
+struct FlowState {
+    messages: u64,
+    frames: u64,
+}
+
+/// The outcome the fabric must apply to one message.
+pub(crate) struct MessageFate {
+    /// Silently lose the message (after charging wire time).
+    pub drop: bool,
+    /// Byte offsets to flip, relative to the payload start.
+    pub corrupt_at: Vec<usize>,
+    /// Extra propagation latency.
+    pub extra_latency: Duration,
+    /// Fail the send outright: the flow is past its reset budget.
+    pub reset: bool,
+}
+
+/// Installed plan plus its mutable bookkeeping. Lives on the fabric.
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    flows: Mutex<HashMap<(HostId, PortId, HostId, PortId), FlowState>>,
+    stats: StatCells,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> FaultState {
+        FaultState {
+            plan,
+            flows: Mutex::new(HashMap::new()),
+            stats: StatCells::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> FaultStats {
+        let s = &self.stats;
+        FaultStats {
+            frames_dropped: s.frames_dropped.load(Ordering::Relaxed),
+            messages_dropped: s.messages_dropped.load(Ordering::Relaxed),
+            frames_corrupted: s.frames_corrupted.load(Ordering::Relaxed),
+            messages_corrupted: s.messages_corrupted.load(Ordering::Relaxed),
+            latency_spikes: s.latency_spikes.load(Ordering::Relaxed),
+            connection_resets: s.connection_resets.load(Ordering::Relaxed),
+            dead_port_hits: s.dead_port_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn count_dead_port_hit(&self) {
+        self.stats.dead_port_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decide the fate of one message of `len` bytes on `flow`, carved
+    /// into `mtu`-sized frames. Advances the flow's counters.
+    pub(crate) fn judge(
+        &self,
+        flow: (HostId, PortId, HostId, PortId),
+        len: usize,
+        mtu: usize,
+    ) -> MessageFate {
+        let nframes = len.div_ceil(mtu).max(1) as u64;
+        let (msg_idx, frame_base) = {
+            let mut flows = self.flows.lock();
+            let st = flows.entry(flow).or_default();
+            let snap = (st.messages, st.frames);
+            st.messages += 1;
+            st.frames += nframes;
+            snap
+        };
+
+        let plan = &self.plan;
+        if let Some(budget) = plan.reset_after_frames {
+            if frame_base >= budget {
+                self.stats.connection_resets.fetch_add(1, Ordering::Relaxed);
+                return MessageFate {
+                    drop: false,
+                    corrupt_at: Vec::new(),
+                    extra_latency: Duration::ZERO,
+                    reset: true,
+                };
+            }
+        }
+
+        let fh = flow_hash(flow);
+        let mut drop = false;
+        let mut corrupt_at = Vec::new();
+        for i in 0..nframes {
+            let frame_no = frame_base + i;
+            if plan.drop_per_million > 0
+                && decide(plan.seed, fh, SALT_DROP, frame_no, plan.drop_per_million)
+            {
+                drop = true;
+                self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            if plan.corrupt_per_million > 0
+                && decide(
+                    plan.seed,
+                    fh,
+                    SALT_CORRUPT,
+                    frame_no,
+                    plan.corrupt_per_million,
+                )
+            {
+                // Flip a deterministic byte inside this frame's range.
+                let frame_start = (i as usize) * mtu;
+                let frame_len = (len - frame_start.min(len)).min(mtu).max(1);
+                let off =
+                    frame_start + (mix(plan.seed ^ fh ^ frame_no) % frame_len as u64) as usize;
+                corrupt_at.push(off.min(len.saturating_sub(1)));
+                self.stats.frames_corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if drop {
+            self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+        } else if !corrupt_at.is_empty() {
+            self.stats
+                .messages_corrupted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        let mut extra_latency = Duration::ZERO;
+        if plan.spike_per_million > 0
+            && decide(plan.seed, fh, SALT_SPIKE, msg_idx, plan.spike_per_million)
+        {
+            extra_latency = plan.spike;
+            self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed);
+        }
+
+        MessageFate {
+            drop,
+            corrupt_at,
+            extra_latency,
+            reset: false,
+        }
+    }
+}
+
+fn flow_hash((sh, sp, dh, dp): (HostId, PortId, HostId, PortId)) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in [sh.0, sp, dh.0, dp] {
+        h ^= w as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: one well-mixed word from one input word.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn decide(seed: u64, flow: u64, salt: u64, event: u64, per_million: u32) -> bool {
+    let h = mix(seed ^ flow.rotate_left(17) ^ salt.wrapping_mul(0x9e37_79b9) ^ event);
+    (h % PER_MILLION as u64) < per_million as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> (HostId, PortId, HostId, PortId) {
+        (HostId(0), 1, HostId(1), 2)
+    }
+
+    #[test]
+    fn decisions_replay_from_seed() {
+        let plan = FaultPlan::new(42)
+            .with_frame_drop(100_000)
+            .with_frame_corruption(50_000)
+            .with_latency_spikes(30_000, Duration::from_millis(1));
+        let run = || {
+            let st = FaultState::new(plan.clone());
+            let fates: Vec<_> = (0..500)
+                .map(|i| {
+                    let f = st.judge(flow(), 1000 + i * 37, 9180);
+                    (f.drop, f.corrupt_at.clone(), f.extra_latency)
+                })
+                .collect();
+            (fates, st.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let fates = |seed| {
+            let st = FaultState::new(FaultPlan::new(seed).with_frame_drop(200_000));
+            (0..200)
+                .map(|_| st.judge(flow(), 9180, 9180).drop)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(fates(1), fates(2));
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored() {
+        let st = FaultState::new(FaultPlan::new(7).with_frame_drop(100_000)); // 10%
+        let n = 10_000;
+        for _ in 0..n {
+            st.judge(flow(), 100, 9180);
+        }
+        let dropped = st.stats().frames_dropped;
+        assert!(
+            (500..2_000).contains(&dropped),
+            "10% of {n} single-frame messages should drop ~1000, got {dropped}"
+        );
+    }
+
+    #[test]
+    fn reset_trips_after_frame_budget() {
+        let st = FaultState::new(FaultPlan::new(3).with_reset_after(10));
+        // 10 single-frame messages pass, the 11th resets.
+        for _ in 0..10 {
+            assert!(!st.judge(flow(), 100, 9180).reset);
+        }
+        assert!(st.judge(flow(), 100, 9180).reset);
+        // Other flows are unaffected.
+        assert!(!st.judge((HostId(5), 1, HostId(6), 2), 100, 9180).reset);
+        assert_eq!(st.stats().connection_resets, 1);
+    }
+
+    #[test]
+    fn multi_frame_messages_consume_frame_budget() {
+        let st = FaultState::new(FaultPlan::new(3).with_reset_after(10));
+        // One 8-frame message passes; the next 8-frame message starts at
+        // frame 8 < 10 and passes; the third starts at 16 >= 10: reset.
+        assert!(!st.judge(flow(), 8 * 9180, 9180).reset);
+        assert!(!st.judge(flow(), 8 * 9180, 9180).reset);
+        assert!(st.judge(flow(), 8 * 9180, 9180).reset);
+    }
+
+    #[test]
+    fn corruption_offsets_stay_in_payload() {
+        let st = FaultState::new(FaultPlan::new(9).with_frame_corruption(PER_MILLION));
+        for len in [1usize, 10, 9180, 9181, 40_000] {
+            let fate = st.judge(flow(), len, 9180);
+            assert!(!fate.corrupt_at.is_empty());
+            for &off in &fate.corrupt_at {
+                assert!(off < len, "offset {off} outside payload {len}");
+            }
+        }
+    }
+}

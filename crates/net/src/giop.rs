@@ -449,7 +449,9 @@ mod tests {
     fn garbage_rejected() {
         assert!(GiopMessage::decode(&Bytes::from_static(b"????????")).is_err());
         assert!(GiopMessage::decode(&Bytes::from_static(b"PAR")).is_err());
-        let mut wire = GiopMessage::CloseConnection.encode(Endian::native()).to_vec();
+        let mut wire = GiopMessage::CloseConnection
+            .encode(Endian::native())
+            .to_vec();
         wire[4] = 99; // bad version
         assert!(GiopMessage::decode(&Bytes::from(wire)).is_err());
     }

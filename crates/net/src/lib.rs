@@ -25,12 +25,14 @@
 pub mod conn;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod giop;
 pub mod ior;
 pub mod link;
 
 pub use error::{NetError, NetResult};
 pub use fabric::{Fabric, Host, HostId, PortId, PortRecv};
+pub use fault::{FaultPlan, FaultStats};
 pub use ior::{DistSpec, ObjectRef};
 pub use link::{Link, LinkSpec, LinkStats};
 

@@ -72,7 +72,10 @@ impl Endpoint {
                 chunks[m.from] = Some(m.payload);
             }
             Ok(Some(
-                chunks.into_iter().map(|c| c.expect("all ranks sent")).collect(),
+                chunks
+                    .into_iter()
+                    .map(|c| c.expect("all ranks sent"))
+                    .collect(),
             ))
         } else {
             self.send_internal(root, tags::GATHER, bytes)?;
@@ -226,7 +229,11 @@ impl Endpoint {
             }
             Some(Bytes::copy_from_slice(pardis_bytes_of(&acc)))
         } else {
-            self.send_internal(0, tags::REDUCE, Bytes::copy_from_slice(pardis_bytes_of(local)))?;
+            self.send_internal(
+                0,
+                tags::REDUCE,
+                Bytes::copy_from_slice(pardis_bytes_of(local)),
+            )?;
             None
         };
         let result = self.broadcast(0, reduced)?;
@@ -336,7 +343,11 @@ mod tests {
         let results = Domain::run(3, |ep| {
             let counts = [1usize, 2, 3];
             let full: Vec<f64> = (0..6).map(|x| x as f64).collect();
-            let root_buf = if ep.rank() == 0 { Some(&full[..]) } else { None };
+            let root_buf = if ep.rank() == 0 {
+                Some(&full[..])
+            } else {
+                None
+            };
             ep.scatterv_f64(0, root_buf, &counts).unwrap()
         });
         assert_eq!(results[0], vec![0.0]);
@@ -420,7 +431,11 @@ mod tests {
         let results = Domain::run(2, |ep| {
             let counts = [1usize, 2, 3]; // wrong arity on purpose
             let full = [0.0f64; 6];
-            let root = if ep.rank() == 0 { Some(&full[..]) } else { None };
+            let root = if ep.rank() == 0 {
+                Some(&full[..])
+            } else {
+                None
+            };
             ep.scatterv_f64(0, root, &counts)
         });
         for r in results {
@@ -435,14 +450,9 @@ mod tests {
                 ep.broadcast(0, Some(Bytes::from_static(b"x"))).unwrap(),
                 Bytes::from_static(b"x")
             );
-            assert_eq!(
-                ep.gather_f64(0, &[1.0]).unwrap().unwrap(),
-                vec![1.0]
-            );
+            assert_eq!(ep.gather_f64(0, &[1.0]).unwrap().unwrap(), vec![1.0]);
             assert_eq!(ep.allreduce_scalar(5.0, ReduceOp::Sum).unwrap(), 5.0);
-            let inc = ep
-                .alltoallv_bytes(vec![Bytes::from_static(b"me")])
-                .unwrap();
+            let inc = ep.alltoallv_bytes(vec![Bytes::from_static(b"me")]).unwrap();
             assert_eq!(&inc[0][..], b"me");
         });
     }

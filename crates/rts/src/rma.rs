@@ -85,9 +85,7 @@ impl Window {
         // the handles alone.
         let inner: Arc<WindowInner> = if rts.rank() == 0 {
             let inner = Arc::new(WindowInner {
-                parts: (0..rts.size())
-                    .map(|_| RwLock::new(Vec::new()))
-                    .collect(),
+                parts: (0..rts.size()).map(|_| RwLock::new(Vec::new())).collect(),
             });
             let id = registry_publish(inner.clone());
             rts.broadcast(0, Some(bytes::Bytes::copy_from_slice(&id.to_le_bytes())))?;

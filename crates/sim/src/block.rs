@@ -32,11 +32,7 @@ impl Layout {
     pub fn block(len: u64, n: usize) -> Layout {
         let base = len / n as u64;
         let rem = (len % n as u64) as usize;
-        Layout::from_counts(
-            (0..n)
-                .map(|t| base + u64::from(t < rem))
-                .collect(),
-        )
+        Layout::from_counts((0..n).map(|t| base + u64::from(t < rem)).collect())
     }
 
     /// Largest-remainder proportional split (matches

@@ -43,10 +43,7 @@ pub struct Sim {
 impl Sim {
     /// Create a simulation over `machines` joined by one shared link.
     pub fn new(machines: Vec<MachineSpec>, link: LinkParams) -> Sim {
-        let clocks = machines
-            .iter()
-            .map(|m| vec![0; m.threads])
-            .collect();
+        let clocks = machines.iter().map(|m| vec![0; m.threads]).collect();
         Sim {
             machines,
             clocks,
@@ -211,9 +208,7 @@ impl Sim {
                 let key = (start, a.last_served);
                 match best {
                     None => best = Some((ai, start, a.last_served)),
-                    Some((_, bs, bl)) if key < (bs, bl) => {
-                        best = Some((ai, start, a.last_served))
-                    }
+                    Some((_, bs, bl)) if key < (bs, bl) => best = Some((ai, start, a.last_served)),
                     _ => {}
                 }
             }
@@ -222,8 +217,8 @@ impl Sim {
             active[ai].last_served = serve_counter;
             let a = &mut active[ai];
             let frame = a.remaining.min(self.link.mtu);
-            let wire =
-                ((frame + self.link.per_frame_overhead) as f64 / self.link.bandwidth * 1e9) as SimTime;
+            let wire = ((frame + self.link.per_frame_overhead) as f64 / self.link.bandwidth * 1e9)
+                as SimTime;
             let wire_done = start + wire;
             self.link_free = wire_done;
             self.wire_busy += wire;
@@ -308,7 +303,7 @@ mod tests {
     fn shm_transfer_rendezvous() {
         let mut sim = Sim::new(vec![machine(2)], link());
         sim.shm_transfer((0, 0), (0, 1), 2_000_000); // 10 ms per copy side
-        // Sender: copy 10ms + 1us latency; receiver: +10ms more.
+                                                     // Sender: copy 10ms + 1us latency; receiver: +10ms more.
         assert_eq!(sim.now((0, 0)), 10_001_000);
         assert_eq!(sim.now((0, 1)), 20_001_000);
     }

@@ -1,9 +1,7 @@
 //! Experiment drivers regenerating the paper's Tables 1 and 2 and
 //! Figure 4 on the simulated testbed.
 
-use crate::scripts::{
-    centralized_invoke, multiport_invoke, CentralizedTiming, MultiportTiming,
-};
+use crate::scripts::{centralized_invoke, multiport_invoke, CentralizedTiming, MultiportTiming};
 use crate::testbed::Testbed;
 
 /// The argument size used by the paper's tables: 2^19 doubles.
@@ -123,18 +121,10 @@ mod tests {
         assert_eq!(rows.len(), 12);
         // The most powerful configuration is the fastest overall.
         let best = rows.iter().map(|r| r.total_ns).min().unwrap();
-        let c4n8 = rows
-            .iter()
-            .find(|r| r.c == 4 && r.n == 8)
-            .unwrap()
-            .total_ns;
+        let c4n8 = rows.iter().find(|r| r.c == 4 && r.n == 8).unwrap().total_ns;
         assert!(c4n8 <= best + best / 10);
         // And it beats the weakest by a clear margin.
-        let c1n1 = rows
-            .iter()
-            .find(|r| r.c == 1 && r.n == 1)
-            .unwrap()
-            .total_ns;
+        let c1n1 = rows.iter().find(|r| r.c == 1 && r.n == 1).unwrap().total_ns;
         assert!((c4n8 as f64) < 0.85 * c1n1 as f64);
     }
 

@@ -1,0 +1,140 @@
+//! Fault-injection demo: a parallel client invokes a parallel SPMD
+//! object while the fabric drops frames from a seeded [`FaultPlan`] and
+//! one server data port dies mid-run. Deadlines, retry, and the
+//! multi-port → centralized fallback carry the run to completion.
+//!
+//! The whole fault schedule is a pure function of the seed — run this
+//! twice with the same seed and the summary line is identical.
+//!
+//! ```text
+//! cargo run --release --example chaos_demo [seed] [drop_ppm] [max_attempts]
+//! ```
+
+use pardis::pardis_net::FaultPlan;
+use pardis::pardis_rts::ReduceOp;
+use pardis::prelude::*;
+
+const OBJ_TYPE: &str = "IDL:chaos_sum:1.0";
+const INVOCATIONS: usize = 40;
+const KILL_AT: usize = 20;
+const LEN: usize = 64;
+
+struct SumServant;
+
+impl Servant for SumServant {
+    fn type_id(&self) -> &str {
+        OBJ_TYPE
+    }
+
+    fn dispatch(&mut self, req: &mut ServerRequest<'_>) -> PardisResult<()> {
+        match req.operation() {
+            "sum" => {
+                let arr: DSequence<f64> = req.dist_seq(0)?;
+                let local: f64 = arr.local_data().iter().sum();
+                let total = req
+                    .ctx()
+                    .rts()
+                    .allreduce_f64(&[local], ReduceOp::Sum)
+                    .map_err(PardisError::from)?[0];
+                req.set_result(|w| {
+                    w.put_f64(total);
+                    Ok(())
+                })
+            }
+            other => Err(PardisError::BadOperation(other.to_string())),
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        .unwrap_or(0x5EED);
+    let drop_ppm: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let max_attempts: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let world = World::new(LinkSpec::unlimited());
+    let server_opts = OrbOptions {
+        frag_timeout: Some(std::time::Duration::from_millis(80)),
+        ..Default::default()
+    };
+    let server = world.spawn_machine_with("server", 2, server_opts, |ctx| {
+        ctx.register("example", Box::new(SumServant), vec![])
+            .unwrap();
+        ctx.serve_forever().unwrap();
+        ctx.serve_decode_errors()
+    });
+
+    let client = world.spawn_machine("client", 2, move |ctx| {
+        let mut proxy = ctx
+            .spmd_bind("example", Some("server"), Some(OBJ_TYPE))
+            .unwrap();
+        proxy.set_mode(TransferMode::MultiPort).unwrap();
+        proxy.set_retry(RetryPolicy {
+            max_attempts,
+            base_backoff: std::time::Duration::from_millis(2),
+            ..RetryPolicy::default()
+        });
+        proxy.set_deadline(Some(std::time::Duration::from_millis(150)));
+
+        ctx.rts().barrier();
+        if ctx.is_comm_thread() {
+            ctx.host()
+                .fabric()
+                .install_faults(FaultPlan::new(seed).with_frame_drop(drop_ppm));
+        }
+        ctx.rts().barrier();
+
+        let mut succeeded = 0usize;
+        for i in 0..INVOCATIONS {
+            if i == KILL_AT {
+                ctx.rts().barrier();
+                if ctx.is_comm_thread() {
+                    let o = proxy.objref();
+                    let dead = *o.data_ports.last().unwrap();
+                    ctx.host().fabric().kill_port(o.host, dead);
+                    println!("-- killed server data port {dead} before invocation {i}");
+                }
+                ctx.rts().barrier();
+            }
+
+            let mut seq = DSequence::<f64>::new(ctx.rts(), LEN, None).unwrap();
+            let off = seq.local_range().start;
+            for (j, x) in seq.local_data_mut().iter_mut().enumerate() {
+                *x = i as f64 + (off + j) as f64 * 0.25;
+            }
+            let mut spec = RequestSpec::simple("sum").idempotent();
+            spec.dist_args = vec![proxy.dist_arg("sum", 0, ArgDir::In, &seq).unwrap()];
+
+            match proxy.invoke(&ctx, spec) {
+                Ok(_) => succeeded += 1,
+                Err(e) => {
+                    if ctx.is_comm_thread() {
+                        println!("   invocation {i} failed: {e}");
+                    }
+                }
+            }
+        }
+
+        ctx.rts().barrier();
+        if ctx.is_comm_thread() {
+            let fabric = ctx.host().fabric();
+            let s = fabric.fault_stats().unwrap();
+            fabric.clear_faults();
+            ctx.send_shutdown(proxy.objref()).unwrap();
+            println!(
+                "seed=0x{seed:X} drop_ppm={drop_ppm}: {succeeded}/{INVOCATIONS} ok, \
+                 retries={}, fallbacks={}, frames_dropped={}, dead_port_hits={}",
+                proxy.retry_count(),
+                proxy.fallback_count(),
+                s.frames_dropped,
+                s.dead_port_hits,
+            );
+        }
+    });
+
+    client.join();
+    server.join();
+}

@@ -73,7 +73,8 @@ fn main() {
 
             ctx.rts().barrier();
             let t0 = Instant::now();
-            diff.diffusion(&ctx, steps as i32, &mut arr).expect("invoke");
+            diff.diffusion(&ctx, steps as i32, &mut arr)
+                .expect("invoke");
             let elapsed = t0.elapsed();
 
             // Validate this thread's slice against the reference.

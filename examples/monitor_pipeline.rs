@@ -89,8 +89,10 @@ fn main() {
                 }
                 std::thread::yield_now();
             }
-            ctx.send_shutdown(vectors.proxy.objref()).expect("shutdown svc");
-            ctx.send_shutdown(mon.proxy.objref()).expect("shutdown monitor");
+            ctx.send_shutdown(vectors.proxy.objref())
+                .expect("shutdown svc");
+            ctx.send_shutdown(mon.proxy.objref())
+                .expect("shutdown monitor");
         }
     });
 

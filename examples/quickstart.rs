@@ -42,7 +42,8 @@ fn main() {
             .copy_from_slice(&global[range]);
 
         let heat_before: f64 = global.iter().sum();
-        diff.diffusion(&ctx, 64, &mut my_diff_array).expect("invoke diffusion");
+        diff.diffusion(&ctx, 64, &mut my_diff_array)
+            .expect("invoke diffusion");
         let heat_after = diff.total_heat(&ctx, &my_diff_array).expect("total_heat");
         let steps = diff._get_steps_completed(&ctx).expect("attribute read");
 

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the macro/type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `Throughput`, `BenchmarkId`, `iter`, `iter_custom`) and measures
+//! with plain wall-clock timing: a short calibration pass picks an
+//! iteration count per sample, then the median over samples is
+//! reported with mean/min/max and derived throughput. No statistics
+//! engine, no HTML reports — numbers on stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver; one per process, handed to each group function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function_inner(&name, f);
+        g.finish();
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Work-per-iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let id = id.into_benchmark_id();
+        self.bench_function_inner(&id.id, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function_inner(&id.id, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn bench_function_inner(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes ~5 ms (or we hit a cap for very slow bodies).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / iters as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+
+        let full = format!("{}/{}", self.name, id);
+        let rate = self.throughput.map(|t| {
+            let per_sec = |units: u64| units as f64 / median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => format!(" {:>10.1} MiB/s", per_sec(n) / (1 << 20) as f64),
+                Throughput::Elements(n) => format!(" {:>10.0} elem/s", per_sec(n)),
+            }
+        });
+        println!(
+            "bench {full:<40} median {median:>12?} (min {min:?}, max {max:?}, {iters} iters x {} samples){}",
+            samples.len(),
+            rate.unwrap_or_default(),
+        );
+    }
+}
+
+/// Conversion so `bench_function` accepts both `&str` and `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// The closure runs `iters` iterations itself and reports the
+    /// total elapsed time.
+    pub fn iter_custom(&mut self, f: impl FnOnce(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Re-export mirroring the real crate; benches mostly use
+/// `std::hint::black_box` directly.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

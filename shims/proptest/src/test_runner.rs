@@ -1,0 +1,103 @@
+//! Deterministic test runner: seeded RNG and per-case failure
+//! reporting (in place of the real crate's shrinking).
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Debug;
+
+/// How many cases each property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64: tiny, fast, and plenty for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Seed derived from the test's name (FNV-1a), so every run of a
+    /// given test generates the identical case sequence.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::from_seed(h ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Prints the failing case's inputs if the test body panics; the real
+/// crate shrinks instead, but a deterministic seed means re-running
+/// the named test replays the failure exactly.
+pub struct CaseReporter {
+    test: &'static str,
+    case: u32,
+    inputs: RefCell<Vec<(&'static str, String)>>,
+    done: Cell<bool>,
+}
+
+impl CaseReporter {
+    pub fn new(test: &'static str, case: u32) -> CaseReporter {
+        CaseReporter {
+            test,
+            case,
+            inputs: RefCell::new(Vec::new()),
+            done: Cell::new(false),
+        }
+    }
+
+    pub fn record(&self, name: &'static str, value: &dyn Debug) {
+        self.inputs.borrow_mut().push((name, format!("{value:?}")));
+    }
+
+    pub fn passed(&self) {
+        self.done.set(true);
+    }
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if !self.done.get() && std::thread::panicking() {
+            eprintln!(
+                "proptest '{}' failed at case {} (seed is derived from the test name; \
+                 re-running replays it):",
+                self.test, self.case
+            );
+            for (name, value) in self.inputs.borrow().iter() {
+                eprintln!("  {name} = {value}");
+            }
+        }
+    }
+}

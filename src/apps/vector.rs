@@ -24,12 +24,7 @@ fn allreduce(ctx: &OrbCtx, v: f64, op: ReduceOp) -> PardisResult<f64> {
 }
 
 impl vector_serviceImpl for VectorServant {
-    fn dot(
-        &mut self,
-        ctx: &OrbCtx,
-        a: &DSequence<f64>,
-        b: &DSequence<f64>,
-    ) -> PardisResult<f64> {
+    fn dot(&mut self, ctx: &OrbCtx, a: &DSequence<f64>, b: &DSequence<f64>) -> PardisResult<f64> {
         if a.len() != b.len() {
             return Err(PardisError::BadDistArg(format!(
                 "dot of length {} with length {}",

@@ -68,19 +68,43 @@ pub use pardis_core::prelude;
 pub mod stubs {
     /// Stubs for `examples/idl/diffusion.idl` — the paper's running
     /// example.
-    #[allow(non_camel_case_types, non_snake_case, dead_code, unused_mut, unused_variables, clippy::derivable_impls, clippy::needless_return)]
+    #[allow(
+        non_camel_case_types,
+        non_snake_case,
+        dead_code,
+        unused_mut,
+        unused_variables,
+        clippy::derivable_impls,
+        clippy::needless_return
+    )]
     pub mod diffusion {
         include!(concat!(env!("OUT_DIR"), "/diffusion.rs"));
     }
     /// Stubs for `examples/idl/simulation.idl` — the multi-application
     /// demo (vector service + monitor).
-    #[allow(non_camel_case_types, non_snake_case, dead_code, unused_mut, unused_variables, clippy::derivable_impls, clippy::needless_return)]
+    #[allow(
+        non_camel_case_types,
+        non_snake_case,
+        dead_code,
+        unused_mut,
+        unused_variables,
+        clippy::derivable_impls,
+        clippy::needless_return
+    )]
     pub mod simulation {
         include!(concat!(env!("OUT_DIR"), "/simulation.rs"));
     }
     /// Stubs for `examples/idl/types.idl` — the full-type-system
     /// exercise.
-    #[allow(non_camel_case_types, non_snake_case, dead_code, unused_mut, unused_variables, clippy::derivable_impls, clippy::needless_return)]
+    #[allow(
+        non_camel_case_types,
+        non_snake_case,
+        dead_code,
+        unused_mut,
+        unused_variables,
+        clippy::derivable_impls,
+        clippy::needless_return
+    )]
     pub mod types {
         include!(concat!(env!("OUT_DIR"), "/types.rs"));
     }

@@ -1,0 +1,252 @@
+//! Chaos test: a parallel client keeps invoking a parallel SPMD server
+//! while a seeded [`FaultPlan`] drops frames and a server data port is
+//! killed mid-run. The invocation deadlines, bounded retry, and the
+//! multi-port → centralized fallback must carry all 100 invocations to
+//! completion — and because every fault decision is a pure function of
+//! `(seed, flow, counter)`, an entire run's observable outcome (drop
+//! counts, retry counts, fallback counts, per-invocation results) must
+//! replay bit-for-bit from the same seed.
+
+use pardis_cdr::{CdrReader, Decode};
+use pardis_core::prelude::*;
+use pardis_net::FaultPlan;
+
+const OBJ_TYPE: &str = "IDL:chaos_sum:1.0";
+const INVOCATIONS: usize = 100;
+const KILL_AT: usize = 50;
+const LEN: usize = 64;
+const SERVER_THREADS: usize = 2;
+const CLIENT_THREADS: usize = 2;
+const SEED: u64 = 0x5EED_CAFE;
+
+/// `sum(in dsequence<double>) -> double`: each server thread sums its
+/// local part, an allreduce produces the total. Pure, hence idempotent —
+/// safe to re-execute on retry.
+struct SumServant;
+
+impl Servant for SumServant {
+    fn type_id(&self) -> &str {
+        OBJ_TYPE
+    }
+
+    fn dispatch(&mut self, req: &mut ServerRequest<'_>) -> PardisResult<()> {
+        match req.operation() {
+            "sum" => {
+                let arr: pardis_core::DSequence<f64> = req.dist_seq(0)?;
+                let local: f64 = arr.local_data().iter().sum();
+                let total = req
+                    .ctx()
+                    .rts()
+                    .allreduce_f64(&[local], pardis_rts::ReduceOp::Sum)
+                    .map_err(PardisError::from)?[0];
+                req.set_result(|w| {
+                    w.put_f64(total);
+                    Ok(())
+                })
+            }
+            other => Err(PardisError::BadOperation(other.to_string())),
+        }
+    }
+}
+
+/// Everything one client thread observed; compared across replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ClientReport {
+    /// Per-invocation outcome (true = resolved Ok).
+    ok: Vec<bool>,
+    /// Bit patterns of the returned sums, in invocation order.
+    sums_bits: Vec<u64>,
+    /// Collective retry rounds this proxy went through.
+    retries: u64,
+    /// Multi-port requests demoted to centralized transfer.
+    fallbacks: u64,
+    /// Fault counters, observed by the communicating thread only:
+    /// (frames_dropped, messages_dropped, connection_resets,
+    /// dead_port_hits).
+    stats: Option<(u64, u64, u64, u64)>,
+}
+
+/// One full chaos run. Returns every client thread's report plus each
+/// server thread's corrupt-datagram skip count.
+fn run_chaos(seed: u64) -> (Vec<ClientReport>, Vec<u64>) {
+    let world = World::new(LinkSpec::unlimited());
+
+    // The server bounds its fragment waits: a request whose data frames
+    // were dropped degrades to an error reply instead of wedging the
+    // serve loop (the client then retries).
+    let server_opts = OrbOptions {
+        frag_timeout: Some(std::time::Duration::from_millis(80)),
+        ..Default::default()
+    };
+    let server = world.spawn_machine_with("server", SERVER_THREADS, server_opts, |ctx| {
+        ctx.register("example", Box::new(SumServant), vec![])
+            .unwrap();
+        ctx.serve_forever().unwrap();
+        ctx.serve_decode_errors()
+    });
+
+    let client = world.spawn_machine("client", CLIENT_THREADS, move |ctx| {
+        let mut proxy = ctx
+            .spmd_bind("example", Some("server"), Some(OBJ_TYPE))
+            .unwrap();
+        proxy.set_mode(TransferMode::MultiPort).unwrap();
+        proxy.set_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: std::time::Duration::from_millis(2),
+            ..RetryPolicy::default()
+        });
+        proxy.set_deadline(Some(std::time::Duration::from_millis(150)));
+
+        // Faults go live only after the (clean) bind, installed once.
+        ctx.rts().barrier();
+        if ctx.is_comm_thread() {
+            ctx.host()
+                .fabric()
+                .install_faults(FaultPlan::new(seed).with_frame_drop(20_000)); // 2%
+        }
+        ctx.rts().barrier();
+
+        let mut ok = Vec::with_capacity(INVOCATIONS);
+        let mut sums_bits = Vec::new();
+        for i in 0..INVOCATIONS {
+            if i == KILL_AT {
+                // Kill the last server thread's data port at a point
+                // where no invocation is in flight. Every multi-port
+                // request from here on must probe, notice the dead
+                // port, and fall back to centralized transfer.
+                ctx.rts().barrier();
+                if ctx.is_comm_thread() {
+                    let o = proxy.objref();
+                    let dead = *o.data_ports.last().unwrap();
+                    ctx.host().fabric().kill_port(o.host, dead);
+                }
+                ctx.rts().barrier();
+            }
+
+            let mut seq = DSequence::<f64>::new(ctx.rts(), LEN, None).unwrap();
+            let off = seq.local_range().start;
+            for (j, x) in seq.local_data_mut().iter_mut().enumerate() {
+                *x = i as f64 + (off + j) as f64 * 0.25;
+            }
+            let mut spec = RequestSpec::simple("sum").idempotent();
+            spec.dist_args = vec![proxy.dist_arg("sum", 0, ArgDir::In, &seq).unwrap()];
+
+            match proxy.invoke(&ctx, spec) {
+                Ok(reply) => {
+                    let mut r = CdrReader::new(&reply.nondist_body, ctx.endian());
+                    let got = f64::decode(&mut r).unwrap();
+                    let want = LEN as f64 * i as f64 + 0.25 * (LEN * (LEN - 1) / 2) as f64;
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "invocation {i} returned {got}, want {want}"
+                    );
+                    ok.push(true);
+                    sums_bits.push(got.to_bits());
+                }
+                Err(e) => {
+                    // Exhausted retries must surface as a typed
+                    // communication error, not a hang or a panic.
+                    assert!(
+                        matches!(
+                            e,
+                            PardisError::Timeout
+                                | PardisError::CommFailure(_)
+                                | PardisError::SystemException(_)
+                        ),
+                        "invocation {i}: unexpected error class: {e}"
+                    );
+                    ok.push(false);
+                }
+            }
+        }
+
+        // Quiesce, then read the fault counters and shut down over a
+        // clean fabric (a dropped shutdown would strand the server).
+        ctx.rts().barrier();
+        let stats = if ctx.is_comm_thread() {
+            let fabric = ctx.host().fabric();
+            let s = fabric.fault_stats().unwrap();
+            fabric.clear_faults();
+            ctx.send_shutdown(proxy.objref()).unwrap();
+            Some((
+                s.frames_dropped,
+                s.messages_dropped,
+                s.connection_resets,
+                s.dead_port_hits,
+            ))
+        } else {
+            None
+        };
+        ClientReport {
+            ok,
+            sums_bits,
+            retries: proxy.retry_count(),
+            fallbacks: proxy.fallback_count(),
+            stats,
+        }
+    });
+
+    let reports = client.join();
+    let decode_errors = server.join();
+    (reports, decode_errors)
+}
+
+#[test]
+fn chaos_replays_bit_for_bit_from_one_seed() {
+    let (r1, d1) = run_chaos(SEED);
+    let (r2, d2) = run_chaos(SEED);
+    let (r3, d3) = run_chaos(SEED);
+
+    // Three runs of the same seed: identical drop counts, retry
+    // counts, fallback counts, and per-invocation results.
+    assert_eq!(r1, r2, "run 2 diverged from run 1");
+    assert_eq!(r2, r3, "run 3 diverged from run 2");
+    assert_eq!(d1, d2);
+    assert_eq!(d2, d3);
+
+    // The chaos was real and the recovery machinery really ran.
+    let comm = r1.iter().find(|r| r.stats.is_some()).unwrap();
+    let (frames_dropped, messages_dropped, _, _) = comm.stats.unwrap();
+    assert!(messages_dropped > 0, "plan injected no drops");
+    assert!(frames_dropped >= messages_dropped);
+    assert!(
+        comm.retries > 0,
+        "{messages_dropped} messages dropped but no invocation retried"
+    );
+    // Every post-kill invocation (at least) demoted to centralized.
+    for r in &r1 {
+        assert!(
+            r.fallbacks >= INVOCATIONS.saturating_sub(KILL_AT) as u64,
+            "only {} fallbacks recorded",
+            r.fallbacks
+        );
+    }
+    // Retry carried the overwhelming majority of invocations through.
+    let succeeded = comm.ok.iter().filter(|&&b| b).count();
+    assert!(
+        succeeded >= INVOCATIONS * 9 / 10,
+        "only {succeeded}/{INVOCATIONS} invocations completed"
+    );
+
+    // Collective agreement: all client threads saw identical outcomes
+    // and identical recovery counters.
+    for r in &r1 {
+        assert_eq!(r.ok, r1[0].ok);
+        assert_eq!(r.sums_bits, r1[0].sums_bits);
+        assert_eq!(r.retries, r1[0].retries);
+        assert_eq!(r.fallbacks, r1[0].fallbacks);
+    }
+}
+
+#[test]
+fn different_seed_schedules_different_chaos() {
+    let (r1, _) = run_chaos(SEED);
+    let (r2, _) = run_chaos(SEED ^ 0xFFFF);
+    let s1 = r1.iter().find_map(|r| r.stats).unwrap();
+    let s2 = r2.iter().find_map(|r| r.stats).unwrap();
+    assert_ne!(
+        (s1, r1[0].retries),
+        (s2, r2[0].retries),
+        "two seeds produced identical fault schedules"
+    );
+}

@@ -131,6 +131,46 @@ proptest! {
     }
 
     #[test]
+    fn transfers_partition_mixed_templates(
+        len in 1usize..3_000,
+        src_weights in prop::collection::vec(0u32..7, 1..8)
+            .prop_filter("some weight", |w| w.iter().any(|&x| x > 0)),
+        dst_weights in prop::collection::vec(0u32..7, 1..8)
+            .prop_filter("some weight", |w| w.iter().any(|&x| x > 0)),
+        src_block in any::<bool>(),
+        dst_block in any::<bool>(),
+    ) {
+        // The multi-port overlap algebra must partition the sequence for
+        // ANY pair of templates, not just uniform blockwise ones — mixed
+        // block/proportional pairs model reconfiguration between machines
+        // of different shapes (paper §3.3).
+        let src = if src_block {
+            DistTempl::block(len, src_weights.len())
+        } else {
+            DistTempl::proportional(len, &Proportions::new(src_weights.clone()))
+        };
+        let dst = if dst_block {
+            DistTempl::block(len, dst_weights.len())
+        } else {
+            DistTempl::proportional(len, &Proportions::new(dst_weights.clone()))
+        };
+        let mut covered = vec![0u32; len];
+        for s in 0..src.nthreads() {
+            for (d, range) in src.transfers_to(s, &dst) {
+                prop_assert!(!range.is_empty(), "empty fragment emitted");
+                prop_assert!(src.range(s).start <= range.start && range.end <= src.range(s).end);
+                prop_assert!(dst.range(d).start <= range.start && range.end <= dst.range(d).end);
+                for i in range {
+                    covered[i] += 1;
+                }
+            }
+        }
+        // Exactly-once delivery: every element is covered by one and
+        // only one fragment.
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
     fn incoming_counts_agree_with_transfers(
         len in 1usize..2_000,
         src_n in 1usize..8,
@@ -249,6 +289,40 @@ proptest! {
             assert_eq!(s.to_global(ep).unwrap(), want);
             s.redistribute(ep, DistTempl::block(len, n)).unwrap();
             assert_eq!(s.to_global(ep).unwrap(), want);
+        });
+    }
+
+    #[test]
+    fn redistribute_roundtrip_chain_preserves_content(
+        len in 1usize..300,
+        threads in 2usize..5,
+        chain in prop::collection::vec(prop::collection::vec(1u32..6, 1..5), 1..4),
+    ) {
+        // A whole chain of redistributions through arbitrary proportional
+        // templates, ending back at blockwise, must be the identity on
+        // content.
+        Domain::run(threads, move |ep| { let ep = &ep;
+            let n = ep.size();
+            let mut s = DSequence::<f64>::new(ep, len, None).unwrap();
+            let off = s.local_range().start;
+            for (i, x) in s.local_data_mut().iter_mut().enumerate() {
+                *x = (off + i) as f64 * 0.5;
+            }
+            let want: Vec<f64> = (0..len).map(|i| i as f64 * 0.5).collect();
+            for weights in &chain {
+                let mut w = weights.clone();
+                while w.len() < n {
+                    w.push(1);
+                }
+                w.truncate(n);
+                let t = DistTempl::proportional(len, &Proportions::new(w));
+                s.redistribute(ep, t).unwrap();
+                assert_eq!(s.to_global(ep).unwrap(), want);
+            }
+            s.redistribute(ep, DistTempl::block(len, n)).unwrap();
+            assert_eq!(s.to_global(ep).unwrap(), want);
+            // Back to blockwise: layout equals a freshly built template.
+            assert_eq!(s.templ().counts(), DistTempl::block(len, n).counts());
         });
     }
 

@@ -8,7 +8,11 @@ use pardis::prelude::*;
 use pardis::stubs::diffusion::{diff_objectProxy, diff_objectSkeleton};
 use pardis_net::ior::OpArgDist;
 
-fn start_diffusion_server(world: &World, n: usize, dists: Vec<OpArgDist>) -> pardis_core::MachineHandle<()> {
+fn start_diffusion_server(
+    world: &World,
+    n: usize,
+    dists: Vec<OpArgDist>,
+) -> pardis_core::MachineHandle<()> {
     world.spawn_machine("HOST1", n, move |ctx| {
         diff_objectSkeleton::register(&ctx, "example", DiffusionServant::new(), dists.clone())
             .expect("register");
@@ -30,7 +34,9 @@ fn paper_scenario_through_generated_stubs() {
         let init = hot_spot(len);
         let mut my_diff_array = DSequence::<f64>::new(ctx.rts(), len, None).unwrap();
         let r = my_diff_array.local_range();
-        my_diff_array.local_data_mut().copy_from_slice(&init[r.clone()]);
+        my_diff_array
+            .local_data_mut()
+            .copy_from_slice(&init[r.clone()]);
 
         diff.diffusion(&ctx, 64, &mut my_diff_array).unwrap();
 
@@ -144,10 +150,7 @@ fn idl_exception_through_stubs() {
         let err = diff.diffusion_nd(&ctx, -1, &mut v).unwrap_err();
         match err {
             PardisError::UserException(name) => {
-                assert_eq!(
-                    name,
-                    pardis::stubs::diffusion::diffusion_failed::NAME
-                );
+                assert_eq!(name, pardis::stubs::diffusion::diffusion_failed::NAME);
             }
             other => panic!("expected user exception, got {other}"),
         }

@@ -69,10 +69,24 @@ fn structs_and_sequences_round_trip() {
 fn out_and_inout_scalars() {
     with_collector(|ctx, proxy| {
         proxy
-            .add(&ctx, &Sample { id: 1, value: 10.0, valid: true })
+            .add(
+                &ctx,
+                &Sample {
+                    id: 1,
+                    value: 10.0,
+                    valid: true,
+                },
+            )
             .unwrap();
         proxy
-            .add(&ctx, &Sample { id: 2, value: 20.0, valid: true })
+            .add(
+                &ctx,
+                &Sample {
+                    id: 2,
+                    value: 20.0,
+                    valid: true,
+                },
+            )
             .unwrap();
         let mut running_mean = 5.0; // inout
         let mut count = 0i32; // out
@@ -114,7 +128,14 @@ fn u64_checksum_and_octet_sequences() {
 fn oneway_reset_and_attributes() {
     with_collector(|ctx, proxy| {
         proxy
-            .add(&ctx, &Sample { id: 1, value: 1.0, valid: true })
+            .add(
+                &ctx,
+                &Sample {
+                    id: 1,
+                    value: 1.0,
+                    valid: true,
+                },
+            )
             .unwrap();
         assert_eq!(proxy._get_total_added(&ctx).unwrap(), 1);
 
@@ -137,7 +158,14 @@ fn oneway_reset_and_attributes() {
 fn exception_on_invalid_sample() {
     with_collector(|ctx, proxy| {
         let err = proxy
-            .add(&ctx, &Sample { id: 9, value: 0.0, valid: false })
+            .add(
+                &ctx,
+                &Sample {
+                    id: 9,
+                    value: 0.0,
+                    valid: false,
+                },
+            )
             .unwrap_err();
         match err {
             PardisError::UserException(name) => assert_eq!(name, "bad_sample"),
@@ -155,7 +183,14 @@ fn nb_variant_on_plain_interface() {
     // variant returning a future.
     with_collector(|ctx, proxy| {
         proxy
-            .add(&ctx, &Sample { id: 7, value: 7.0, valid: true })
+            .add(
+                &ctx,
+                &Sample {
+                    id: 7,
+                    value: 7.0,
+                    valid: true,
+                },
+            )
             .unwrap();
         let fut = proxy.dump_nb(&ctx).unwrap();
         let out = fut.wait().unwrap();
