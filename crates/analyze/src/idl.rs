@@ -1,0 +1,126 @@
+//! Pass 1: IDL static lints over files, directories, and the seeded
+//! defect corpus.
+//!
+//! Corpus layout: each `<name>.idl` sits next to a `<name>.expect`
+//! listing the findings the analyzer must produce, one per line as
+//! `CODE LINE` (e.g. `PA003 4`), `#`-comments and blank lines ignored.
+//! Matching is exact — a missed defect and a false positive both fail.
+
+use pardis_idl::lint::LintOptions;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding, reduced to what corpus matching and reports need.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Line in the source file (1-based).
+    pub line: u32,
+    /// Stable lint code (`PA001`…).
+    pub code: String,
+    /// `error` or `warning`.
+    pub severity: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Lint one `.idl` file. `Err` carries a description of why the file
+/// could not be analyzed at all (unreadable, parse or sema failure).
+pub fn lint_file(path: &Path, allow: &[String]) -> Result<Vec<Finding>, String> {
+    let source =
+        fs::read_to_string(path).map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let name = path.display().to_string();
+    let model = pardis_idl::parse_and_check(&source, &name)
+        .map_err(|d| format!("{name}: does not parse/check:\n{d}"))?;
+    let diags = model.lint(&LintOptions {
+        allow: allow.to_vec(),
+    });
+    Ok(diags
+        .items
+        .iter()
+        .map(|d| Finding {
+            line: d.pos.line,
+            code: d.code.clone().unwrap_or_default(),
+            severity: d.severity.to_string(),
+            message: d.message.clone(),
+        })
+        .collect())
+}
+
+/// All `.idl` files directly under `dir`, sorted for stable output.
+pub fn idl_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: cannot list: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "idl"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Outcome of checking one corpus file against its `.expect`.
+#[derive(Debug)]
+pub struct CorpusResult {
+    /// The `.idl` file checked.
+    pub path: PathBuf,
+    /// `(code, line)` pairs the `.expect` file demands, sorted.
+    pub expected: Vec<(String, u32)>,
+    /// `(code, line)` pairs the analyzer produced, sorted.
+    pub actual: Vec<(String, u32)>,
+}
+
+impl CorpusResult {
+    /// Exact match between expectation and findings.
+    pub fn matches(&self) -> bool {
+        self.expected == self.actual
+    }
+}
+
+fn parse_expect(path: &Path) -> Result<Vec<(String, u32)>, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let (Some(code), Some(lno)) = (words.next(), words.next()) else {
+            return Err(format!(
+                "{}:{}: expected `CODE LINE`, got `{line}`",
+                path.display(),
+                i + 1
+            ));
+        };
+        let lno: u32 = lno
+            .parse()
+            .map_err(|_| format!("{}:{}: bad line number `{lno}`", path.display(), i + 1))?;
+        out.push((code.to_string(), lno));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Check every `.idl` in `dir` against its sibling `.expect` file.
+pub fn check_corpus(dir: &Path) -> Result<Vec<CorpusResult>, String> {
+    let files = idl_files(dir)?;
+    if files.is_empty() {
+        return Err(format!("{}: no .idl files found", dir.display()));
+    }
+    let mut results = Vec::new();
+    for f in files {
+        let expect = f.with_extension("expect");
+        let expected = parse_expect(&expect)?;
+        let mut actual: Vec<(String, u32)> = lint_file(&f, &[])?
+            .into_iter()
+            .map(|x| (x.code, x.line))
+            .collect();
+        actual.sort();
+        results.push(CorpusResult {
+            path: f,
+            expected,
+            actual,
+        });
+    }
+    Ok(results)
+}

@@ -1,0 +1,26 @@
+//! # pardis-analyze — collective-consistency analysis for PARDIS
+//!
+//! PARDIS's core contract — a request is satisfied only when delivered
+//! to *all* computing threads, and after `_spmd_bind` every invocation
+//! is collective (§2.1, §3.2) — makes divergent control flow across
+//! SPMD threads the dominant silent-deadlock class. This crate bundles
+//! the three cooperating passes that check the contract:
+//!
+//! 1. **IDL static lints** ([`idl`]) — [`pardis_idl::lint`] findings
+//!    (`PA001`…`PA007`) over `.idl` sources, with a seeded defect
+//!    corpus and exact expected-findings matching.
+//! 2. **Collective-consistency runtime verification** ([`scenarios`])
+//!    — known-divergent SPMD programs run on the
+//!    [`pardis_core::World`] testbed with the `analyze` feature, each
+//!    of which must fail with a typed
+//!    [`pardis_core::PardisError::CollectiveMismatch`] (finding PA101)
+//!    instead of deadlocking.
+//! 3. **Lock-order deadlock graph** ([`lockcheck`]) — the
+//!    [`pardis_rts::lockgraph`] acquisition-order cycle detector
+//!    (finding PA102).
+//!
+//! The `pardis-analyze` binary drives all three; see `--help`.
+
+pub mod idl;
+pub mod lockcheck;
+pub mod scenarios;

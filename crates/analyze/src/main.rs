@@ -1,0 +1,236 @@
+//! The `pardis-analyze` driver: runs the static lint pass over an IDL
+//! corpus and drives the runtime verification passes on the testbed.
+
+use pardis_analyze::{idl, lockcheck, scenarios};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pardis-analyze — collective-consistency analysis for PARDIS
+
+USAGE:
+    pardis-analyze [COMMAND] [ARGS]
+
+COMMANDS:
+    all                 run every pass (default): corpus, clean, runtime, lockcheck
+    lint <paths...>     lint .idl files or directories, print findings
+    corpus [DIR]        check the seeded defect corpus against .expect files
+                        (default: tests/analyze_corpus)
+    clean [DIR...]      assert zero findings on known-good IDL
+                        (default: examples/idl)
+    runtime             run the divergent SPMD scenarios on the testbed
+    lockcheck           build the lock acquisition-order graph, report cycles
+
+EXIT CODES:
+    0  everything as expected
+    1  findings deviate from expectations / a pass failed
+    2  usage or I/O error
+";
+
+/// The workspace root: the binary is run from it via `cargo run -p
+/// pardis-analyze`, but fall back to the build-time manifest location
+/// so it also works from elsewhere.
+fn repo_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("tests/analyze_corpus").is_dir() {
+        cwd
+    } else {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+    }
+}
+
+fn print_findings(path: &Path, findings: &[idl::Finding]) {
+    for f in findings {
+        println!(
+            "{}:{}: {} [{}]: {}",
+            path.display(),
+            f.line,
+            f.severity,
+            f.code,
+            f.message
+        );
+    }
+}
+
+/// `lint`: print findings; exit 1 if any.
+fn cmd_lint(paths: &[String]) -> Result<bool, String> {
+    if paths.is_empty() {
+        return Err("lint: no paths given".into());
+    }
+    let mut files = Vec::new();
+    for p in paths {
+        let p = PathBuf::from(p);
+        if p.is_dir() {
+            files.extend(idl::idl_files(&p)?);
+        } else {
+            files.push(p);
+        }
+    }
+    let mut any = false;
+    for f in &files {
+        let findings = idl::lint_file(f, &[])?;
+        any |= !findings.is_empty();
+        print_findings(f, &findings);
+    }
+    println!("lint: {} file(s) checked", files.len());
+    Ok(!any)
+}
+
+/// `corpus`: every seeded defect must be flagged, exactly.
+fn cmd_corpus(dir: &Path) -> Result<bool, String> {
+    let results = idl::check_corpus(dir)?;
+    let mut ok = true;
+    for r in &results {
+        if r.matches() {
+            println!(
+                "corpus: {}: ok ({} finding(s))",
+                r.path.display(),
+                r.actual.len()
+            );
+        } else {
+            ok = false;
+            println!(
+                "corpus: {}: MISMATCH\n  expected: {:?}\n  actual:   {:?}",
+                r.path.display(),
+                r.expected,
+                r.actual
+            );
+        }
+    }
+    println!("corpus: {} file(s) checked", results.len());
+    Ok(ok)
+}
+
+/// `clean`: zero findings on the known-good set (false-positive guard).
+fn cmd_clean(dirs: &[PathBuf]) -> Result<bool, String> {
+    let mut ok = true;
+    let mut n = 0usize;
+    for dir in dirs {
+        for f in idl::idl_files(dir)? {
+            n += 1;
+            let findings = idl::lint_file(&f, &[])?;
+            if findings.is_empty() {
+                println!("clean: {}: ok", f.display());
+            } else {
+                ok = false;
+                println!("clean: {}: FALSE POSITIVES", f.display());
+                print_findings(&f, &findings);
+            }
+        }
+    }
+    println!("clean: {n} file(s) checked");
+    Ok(ok)
+}
+
+/// `runtime`: divergent scenarios must fail with CollectiveMismatch,
+/// the uniform control must pass.
+fn cmd_runtime() -> bool {
+    let mut ok = true;
+    for s in scenarios::Scenario::all() {
+        let outcomes = scenarios::run(s);
+        let problems = scenarios::check(s, &outcomes);
+        if problems.is_empty() {
+            let verdict = if s.is_divergent() {
+                "rejected with CollectiveMismatch on every thread"
+            } else {
+                "accepted on every thread"
+            };
+            println!("runtime: {}: ok — {verdict}", s.name());
+            if let Some(Err(e)) = outcomes.iter().map(|o| &o.result).find(|r| r.is_err()) {
+                println!("  e.g. {e}");
+            }
+        } else {
+            ok = false;
+            for p in problems {
+                println!("runtime: FAIL: {p}");
+            }
+        }
+    }
+    ok
+}
+
+/// `lockcheck`: the real RTS workload must be cycle-free, the seeded
+/// inversion must be caught.
+fn cmd_lockcheck() -> Result<bool, String> {
+    let mut ok = true;
+    let report = lockcheck::check_rts_locks()?;
+    println!(
+        "lockcheck: RTS RMA workload: {} class(es), {} nested edge(s) observed",
+        report.classes.len(),
+        report.edges.len()
+    );
+    for c in &report.classes {
+        println!("  class {c}");
+    }
+    for (a, b) in &report.edges {
+        println!("  edge {a} -> {b}");
+    }
+    if report.cycles.is_empty() {
+        println!("lockcheck: RTS acquisition order: ok — no cycles");
+    } else {
+        ok = false;
+        for c in &report.cycles {
+            println!("lockcheck: PA102: lock-order cycle: {}", c.join(" -> "));
+        }
+    }
+    let seeded = lockcheck::seeded_inversion();
+    if seeded.is_empty() {
+        ok = false;
+        println!("lockcheck: FAIL: seeded inversion was not detected");
+    } else {
+        println!(
+            "lockcheck: seeded inversion detected as expected: {}",
+            seeded[0].join(" -> ")
+        );
+    }
+    Ok(ok)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = repo_root();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    match cmd {
+        "-h" | "--help" => {
+            print!("{USAGE}");
+            Ok(true)
+        }
+        "lint" => cmd_lint(&args[1..]),
+        "corpus" => {
+            let dir = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| root.join("tests/analyze_corpus"));
+            cmd_corpus(&dir)
+        }
+        "clean" => {
+            let dirs: Vec<PathBuf> = if args.len() > 1 {
+                args[1..].iter().map(PathBuf::from).collect()
+            } else {
+                vec![root.join("examples/idl")]
+            };
+            cmd_clean(&dirs)
+        }
+        "runtime" => Ok(cmd_runtime()),
+        "lockcheck" => cmd_lockcheck(),
+        "all" => {
+            let corpus = cmd_corpus(&root.join("tests/analyze_corpus"))?;
+            let clean = cmd_clean(&[root.join("examples/idl")])?;
+            let runtime = cmd_runtime();
+            let locks = cmd_lockcheck()?;
+            Ok(corpus && clean && runtime && locks)
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("pardis-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

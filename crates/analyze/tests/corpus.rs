@@ -1,0 +1,69 @@
+//! The seeded defect corpus is flagged exactly, and the known-good IDL
+//! set produces zero findings (false-positive guard).
+
+use pardis_analyze::idl;
+use std::path::PathBuf;
+
+fn root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn corpus_defects_are_flagged_exactly() {
+    let results = idl::check_corpus(&root().join("tests/analyze_corpus")).unwrap();
+    assert!(
+        results.len() >= 6,
+        "corpus shrank below its seeded minimum: {} files",
+        results.len()
+    );
+    for r in &results {
+        assert!(
+            r.matches(),
+            "{}: expected {:?}, got {:?}",
+            r.path.display(),
+            r.expected,
+            r.actual
+        );
+        assert!(
+            !r.expected.is_empty(),
+            "{}: corpus files must seed at least one defect",
+            r.path.display()
+        );
+    }
+    // Every lint in the catalog is exercised by at least one seed.
+    let seen: Vec<&str> = results
+        .iter()
+        .flat_map(|r| r.actual.iter().map(|(c, _)| c.as_str()))
+        .collect();
+    for code in [
+        "PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007",
+    ] {
+        assert!(seen.contains(&code), "no corpus seed exercises {code}");
+    }
+}
+
+#[test]
+fn example_idl_is_clean() {
+    let dir = root().join("examples/idl");
+    let files = idl::idl_files(&dir).unwrap();
+    assert!(
+        !files.is_empty(),
+        "no example IDL found in {}",
+        dir.display()
+    );
+    for f in files {
+        let findings = idl::lint_file(&f, &[]).unwrap();
+        assert!(
+            findings.is_empty(),
+            "{}: false positives: {findings:?}",
+            f.display()
+        );
+    }
+}
+
+#[test]
+fn allow_list_suppresses_corpus_findings() {
+    let f = root().join("tests/analyze_corpus/identity_redistribution.idl");
+    let suppressed = idl::lint_file(&f, &["PA004".to_string()]).unwrap();
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+}

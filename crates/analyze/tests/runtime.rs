@@ -1,0 +1,110 @@
+//! The divergent SPMD scenarios fail with a typed `CollectiveMismatch`
+//! naming the divergent thread and both call sites — instead of the
+//! silent deadlock the paper's collective-invocation contract would
+//! otherwise produce — and the uniform control run stays clean.
+
+use pardis_analyze::{lockcheck, scenarios};
+use pardis_core::PardisError;
+use scenarios::Scenario;
+
+#[test]
+fn mismatched_order_is_rejected_with_both_sites() {
+    let outcomes = scenarios::run(Scenario::MismatchedOrder);
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        match &o.result {
+            Err(PardisError::CollectiveMismatch {
+                thread,
+                mine,
+                theirs,
+            }) => {
+                // Rank 1 issued `reset` while rank 0 (the reference)
+                // issued `step` — every thread names the same culprit
+                // and both call sites.
+                assert_eq!(*thread, 1, "rank {}: wrong culprit", o.rank);
+                assert!(mine.contains("`step`"), "rank {}: mine = {mine}", o.rank);
+                assert!(
+                    theirs.contains("`reset`"),
+                    "rank {}: theirs = {theirs}",
+                    o.rank
+                );
+            }
+            other => panic!(
+                "rank {}: expected CollectiveMismatch, got {other:?}",
+                o.rank
+            ),
+        }
+    }
+}
+
+#[test]
+fn divergent_template_is_rejected() {
+    let outcomes = scenarios::run(Scenario::DivergentTemplate);
+    for o in &outcomes {
+        assert!(
+            matches!(
+                o.result,
+                Err(PardisError::CollectiveMismatch { thread: 1, .. })
+            ),
+            "rank {}: {:?}",
+            o.rank,
+            o.result
+        );
+    }
+}
+
+#[test]
+fn divergent_length_class_is_rejected() {
+    let outcomes = scenarios::run(Scenario::DivergentLength);
+    for o in &outcomes {
+        assert!(
+            matches!(
+                o.result,
+                Err(PardisError::CollectiveMismatch { thread: 1, .. })
+            ),
+            "rank {}: {:?}",
+            o.rank,
+            o.result
+        );
+    }
+}
+
+#[test]
+fn uniform_control_has_no_false_positives() {
+    let outcomes = scenarios::run(Scenario::Uniform);
+    assert_eq!(outcomes.len(), 2);
+    for o in &outcomes {
+        assert!(o.result.is_ok(), "rank {}: {:?}", o.rank, o.result);
+    }
+}
+
+#[test]
+fn scenario_checker_agrees_with_the_assertions() {
+    for s in Scenario::all() {
+        let outcomes = scenarios::run(s);
+        let problems = scenarios::check(s, &outcomes);
+        assert!(problems.is_empty(), "{}: {problems:?}", s.name());
+    }
+}
+
+#[test]
+fn lockcheck_rts_workload_is_cycle_free_and_inversion_is_caught() {
+    let report = lockcheck::check_rts_locks().unwrap();
+    assert!(
+        report.cycles.is_empty(),
+        "RTS lock-order cycles: {:?}",
+        report.cycles
+    );
+    // The workload really exercised the instrumented classes.
+    for class in ["rma::registry", "rma::window_part"] {
+        assert!(
+            report.classes.contains(&class),
+            "{class} never acquired: {:?}",
+            report.classes
+        );
+    }
+    let seeded = lockcheck::seeded_inversion();
+    assert_eq!(seeded.len(), 1, "{seeded:?}");
+    assert!(seeded[0].contains(&"analyze::demo_a"));
+    assert!(seeded[0].contains(&"analyze::demo_b"));
+}

@@ -9,26 +9,56 @@
 //! byte swapping (the translation path), which the benchmark harness
 //! ablates.
 //!
-//! All reinterpretations here go through safe byte-by-byte conversions;
-//! we deliberately avoid `unsafe` transmutes — the copies model real
+//! The read-side byte view ([`as_byte_slice`]) is the one documented
+//! `unsafe` reinterpretation in the workspace; every decode goes
+//! through safe byte-by-byte conversions — the copies model real
 //! marshaling work anyway.
 
-/// View a `f64` slice as its native-order byte representation.
+/// Marker for primitive types whose in-memory representation is plain
+/// bytes: inhabited, no padding, every bit pattern meaningful when
+/// read back as bytes.
 ///
-/// Allocation-free on the read side: the returned slice borrows `v`.
+/// # Safety
+///
+/// Implementors guarantee the above; [`as_byte_slice`] relies on it to
+/// reinterpret `&[T]` as `&[u8]`.
+pub unsafe trait Pod: Copy {}
+
+// SAFETY: primitive numeric types are inhabited and padding-free.
+unsafe impl Pod for f64 {}
+// SAFETY: as above.
+unsafe impl Pod for i32 {}
+// SAFETY: as above.
+unsafe impl Pod for u8 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+
+/// View a slice of plain-old-data values as its native-order byte
+/// representation. Allocation-free: the returned slice borrows `v`.
+///
+/// This is the *single* byte-view reinterpretation in the workspace
+/// (bytemuck would provide it; one well-understood unsafe block beats
+/// a dependency). Everything else goes through safe byte-by-byte
+/// conversions — the copies model real marshaling work anyway.
+#[inline]
+pub fn as_byte_slice<T: Pod>(v: &[T]) -> &[u8] {
+    // SAFETY: `T: Pod` rules out padding and uninhabited types, `u8`'s
+    // alignment of 1 is always satisfied, and the length is exactly
+    // the slice's byte size — so the view covers only memory owned by
+    // `v`, for the duration of the borrow the signature ties it to.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+/// View a `f64` slice as its native-order byte representation.
 #[inline]
 pub fn f64_slice_as_bytes(v: &[f64]) -> &[u8] {
-    // f64 has no padding and alignment of f64 >= u8, so this view is
-    // always valid. bytemuck would provide this; we keep the single
-    // well-understood unsafe block local and documented instead of
-    // adding a dependency.
-    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+    as_byte_slice(v)
 }
 
 /// View an `i32` slice as its native-order byte representation.
 #[inline]
 pub fn i32_slice_as_bytes(v: &[i32]) -> &[u8] {
-    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+    as_byte_slice(v)
 }
 
 /// Append `bytes` (native order, length a multiple of 8) to `out` as

@@ -341,6 +341,20 @@ impl Proxy {
             return self.complete(ctx, pending);
         };
         let can_retry = spec.idempotent || !spec.response_expected;
+        // PA103: a retry policy on a non-idempotent two-way request is
+        // legal but inert — the policy never fires. Surface the hazard
+        // to the analyzer instead of silently ignoring it.
+        #[cfg(feature = "analyze")]
+        if !can_retry {
+            crate::analyze::record(
+                "PA103",
+                format!(
+                    "retry policy attached to non-idempotent operation `{}`; \
+                     the policy will never retry it",
+                    spec.operation
+                ),
+            );
+        }
         let mut attempt: u32 = 0;
         loop {
             let result = self
@@ -413,6 +427,13 @@ impl Proxy {
     ) -> PardisResult<PendingInvoke> {
         // "the computing threads of the client first synchronize" (§3.2)
         if self.collective {
+            // PA101: before committing to the (deadlocking) collective
+            // protocol, agree that every computing thread is issuing the
+            // same invocation. Divergence becomes a typed error naming
+            // both call sites instead of a hang.
+            #[cfg(feature = "analyze")]
+            ctx.rts
+                .agree_collective(&crate::analyze::fingerprint(spec, mode))?;
             ctx.rts.barrier();
         }
         let started = Instant::now();

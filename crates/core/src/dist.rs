@@ -130,7 +130,9 @@ impl DistTempl {
 
     /// Total number of elements described.
     pub fn len(&self) -> usize {
-        *self.offsets.last().expect("offsets nonempty")
+        // `offsets` always has `counts.len() + 1` entries by
+        // construction; an empty template still holds the single 0.
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Whether the template describes zero elements.

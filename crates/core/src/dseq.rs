@@ -272,9 +272,9 @@ impl<T: Elem> DSequence<T> {
             None
         };
         let bytes = rts.broadcast(owner, data)?;
-        Ok(T::from_native_bytes(&bytes)
-            .pop()
-            .expect("broadcast carried one element"))
+        T::from_native_bytes(&bytes).pop().ok_or_else(|| {
+            PardisError::Internal("element broadcast returned an empty payload".into())
+        })
     }
 
     /// Collective element store: all threads pass the same `(idx, v)`;

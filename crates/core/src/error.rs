@@ -35,6 +35,21 @@ pub enum PardisError {
     /// The transport failed mid-invocation (CORBA `COMM_FAILURE`): a
     /// connection reset, a dead port, or a vanished route.
     CommFailure(String),
+    /// The collective-consistency verifier (`analyze` feature) caught
+    /// one computing thread issuing a different SPMD invocation than
+    /// the others — the divergence that would otherwise deadlock.
+    /// Never retryable: the program itself diverged.
+    CollectiveMismatch {
+        /// First divergent computing thread (rank).
+        thread: usize,
+        /// The reference call site (rank 0's).
+        mine: String,
+        /// The divergent thread's call site.
+        theirs: String,
+    },
+    /// An internal invariant failed (a bug surfaced as an error instead
+    /// of a panic on library paths).
+    Internal(String),
 }
 
 impl PardisError {
@@ -91,6 +106,17 @@ impl fmt::Display for PardisError {
             }
             PardisError::Timeout => write!(f, "timed out"),
             PardisError::CommFailure(m) => write!(f, "communication failure: {m}"),
+            PardisError::CollectiveMismatch {
+                thread,
+                mine,
+                theirs,
+            } => write!(
+                f,
+                "collective mismatch [PA101]: thread {thread} issued {theirs} while this \
+                 thread issued {mine}; after _spmd_bind every invocation must be made by \
+                 all computing threads in the same order"
+            ),
+            PardisError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -121,7 +147,19 @@ impl From<pardis_cdr::CdrError> for PardisError {
 
 impl From<pardis_rts::RtsError> for PardisError {
     fn from(e: pardis_rts::RtsError) -> Self {
-        PardisError::Rts(e.to_string())
+        match e {
+            pardis_rts::RtsError::CollectiveMismatch {
+                thread,
+                mine,
+                theirs,
+            } => PardisError::CollectiveMismatch {
+                thread,
+                mine,
+                theirs,
+            },
+            pardis_rts::RtsError::Internal(m) => PardisError::Internal(m),
+            other => PardisError::Rts(other.to_string()),
+        }
     }
 }
 

@@ -62,6 +62,8 @@
 //! server.join();
 //! ```
 
+#[cfg(feature = "analyze")]
+pub mod analyze;
 pub mod client;
 pub mod dist;
 pub mod dseq;

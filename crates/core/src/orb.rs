@@ -114,7 +114,9 @@ impl OrbCtx {
             }
             rts.barrier();
         }
-        let data_port = data_port.expect("rank-ordered port open");
+        let data_port = data_port.ok_or_else(|| {
+            crate::PardisError::Internal("rank-ordered data port was not opened".into())
+        })?;
         let port_ids_u64 = rts.allgather_u64(data_port.port() as u64)?;
         let data_port_ids: Vec<PortId> = port_ids_u64.into_iter().map(|p| p as PortId).collect();
 

@@ -15,7 +15,7 @@
 use crate::dist::DistTempl;
 use crate::error::{PardisError, PardisResult};
 use bytes::Bytes;
-use pardis_cdr::{CdrReader, CdrResult, CdrWriter};
+use pardis_cdr::{CdrReader, CdrWriter};
 use std::time::Duration;
 
 /// IDL parameter passing mode.
@@ -157,7 +157,8 @@ pub struct RequestBody {
 
 impl RequestBody {
     /// Encode into a CDR stream (body of a Request message).
-    pub fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+    /// Infallible: every CDR write into memory succeeds.
+    pub fn encode(&self, w: &mut CdrWriter) {
         w.put_u32(self.dist.len() as u32);
         w.put_u32(self.nondist.len() as u32);
         w.align(8);
@@ -174,7 +175,6 @@ impl RequestBody {
                 }
             }
         }
-        Ok(())
     }
 
     /// Encode to bytes in the given byte order.
@@ -187,7 +187,7 @@ impl RequestBody {
                 .map(|(_, d)| d.as_ref().map_or(64, |b| b.len() + 64))
                 .sum::<usize>();
         let mut w = CdrWriter::with_capacity(endian, cap);
-        self.encode(&mut w).expect("request body encode");
+        self.encode(&mut w);
         w.into_shared()
     }
 
@@ -241,7 +241,8 @@ pub struct ReplyBody {
 
 impl ReplyBody {
     /// Encode into a CDR stream (body of a Reply message).
-    pub fn encode(&self, w: &mut CdrWriter) -> CdrResult<()> {
+    /// Infallible: every CDR write into memory succeeds.
+    pub fn encode(&self, w: &mut CdrWriter) {
         w.put_u32(self.dist_out.len() as u32);
         w.put_u32(self.nondist.len() as u32);
         w.align(8);
@@ -259,7 +260,6 @@ impl ReplyBody {
                 }
             }
         }
-        Ok(())
     }
 
     /// Encode to bytes in the given byte order.
@@ -272,7 +272,7 @@ impl ReplyBody {
                 .map(|(_, _, d)| d.as_ref().map_or(32, |b| b.len() + 32))
                 .sum::<usize>();
         let mut w = CdrWriter::with_capacity(endian, cap);
-        self.encode(&mut w).expect("reply body encode");
+        self.encode(&mut w);
         w.into_shared()
     }
 

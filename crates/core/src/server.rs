@@ -235,14 +235,17 @@ impl OrbCtx {
     /// state kept in the returned payload pair.
     fn next_served_payload(&self, poll: Option<Duration>) -> PardisResult<Option<ServedPayload>> {
         if self.is_comm_thread() {
+            let request_port = self.request_port.as_ref().ok_or_else(|| {
+                PardisError::Internal("communicating thread has no request port".into())
+            })?;
             // Pull datagrams until one decodes. A datagram corrupted in
             // flight (injected frame faults) is counted and skipped so
             // the serve loop survives it; the client's deadline/retry
             // machinery recovers the lost request.
             let parsed: Option<(Option<(RequestHeader, RequestBody)>, Bytes)> = loop {
                 let dg = match poll {
-                    None => Some(self.request_port.as_ref().expect("comm thread").recv()?),
-                    Some(_) => self.request_port.as_ref().expect("comm thread").try_recv(),
+                    None => Some(request_port.recv()?),
+                    Some(_) => request_port.try_recv(),
                 };
                 let dg = match dg {
                     None => break None,

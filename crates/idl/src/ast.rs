@@ -7,6 +7,18 @@ use crate::diag::Pos;
 pub struct Spec {
     /// Top-level definitions in source order.
     pub defs: Vec<Def>,
+    /// `#pragma` directives, in source order (wherever they appeared).
+    pub pragmas: Vec<Pragma>,
+}
+
+/// One `#pragma` directive. The compiler records them verbatim; the
+/// analyzer interprets the `pardis` namespace (`#pragma pardis
+/// threads N`, `#pragma pardis allow PA001,PA002`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pragma {
+    /// The directive text after `#pragma`, trimmed.
+    pub text: String,
+    pub pos: Pos,
 }
 
 /// A definition at file or module scope.
@@ -73,6 +85,9 @@ pub struct OpDecl {
     pub name: String,
     /// True for `oneway` operations (no reply).
     pub oneway: bool,
+    /// True for operations declared `idempotent`: safe to re-invoke
+    /// after a transport fault, so client retry policies apply.
+    pub idempotent: bool,
     pub ret: Type,
     pub params: Vec<Param>,
     /// Names of exceptions listed in `raises(...)`.
@@ -131,11 +146,15 @@ pub enum Type {
 }
 
 /// Distribution annotation inside a `dsequence` type: the paper's
-/// `dsequence<double, 1024, block>`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `dsequence<double, 1024, block>`, extended with weighted
+/// proportions (`dsequence<double, 1024, proportions<2, 1, 1>>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DistAnnot {
     /// Uniform blockwise (also the default when unspecified).
     Block,
+    /// Weighted blockwise: thread `i` owns a share proportional to
+    /// weight `i`; the weight count fixes the thread count.
+    Proportions(Vec<u64>),
 }
 
 impl Type {

@@ -6,10 +6,20 @@
 //! pardis-idlc --check input.idl      # parse + semantic check only
 //! pardis-idlc --emit-idl input.idl   # normalized/pretty-printed IDL
 //! pardis-idlc --emit-doc input.idl   # Markdown interface reference
+//! pardis-idlc --analyze input.idl    # distribution lints, JSON to stdout
 //! ```
+//!
+//! Exit status: `0` clean (warnings do not fail unless
+//! `--deny-warnings`), `1` analysis findings at error severity (or any
+//! finding under `--deny-warnings`), `2` usage, I/O, or parse/semantic
+//! failure.
 
+use pardis_idl::lint::LintOptions;
 use std::io::Write;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: pardis-idlc [--check|--emit-idl|--emit-doc|--analyze] \
+                     [--deny-warnings] [--allow PAxxx] [-o OUT.rs] INPUT.idl";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +28,9 @@ fn main() -> ExitCode {
     let mut check_only = false;
     let mut emit_idl = false;
     let mut emit_doc = false;
+    let mut analyze = false;
+    let mut deny_warnings = false;
+    let mut allow: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,10 +45,18 @@ fn main() -> ExitCode {
             "--check" => check_only = true,
             "--emit-idl" => emit_idl = true,
             "--emit-doc" => emit_doc = true,
+            "--analyze" => analyze = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--allow" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("pardis-idlc: --allow needs a lint code (e.g. PA004)");
+                    return ExitCode::from(2);
+                }
+                allow.extend(args[i].split(',').map(|c| c.trim().to_string()));
+            }
             "-h" | "--help" => {
-                println!(
-                    "usage: pardis-idlc [--check|--emit-idl|--emit-doc] [-o OUT.rs] INPUT.idl"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -54,7 +75,7 @@ fn main() -> ExitCode {
     let input = match input {
         Some(f) => f,
         None => {
-            eprintln!("usage: pardis-idlc [--check|--emit-idl|--emit-doc] [-o OUT.rs] INPUT.idl");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -62,16 +83,20 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("pardis-idlc: cannot read {input}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
+
+    if analyze {
+        return run_analyze(&source, &input, &allow, deny_warnings);
+    }
 
     if check_only {
         return match pardis_idl::parse_and_check(&source, &input) {
             Ok(_) => ExitCode::SUCCESS,
             Err(diags) => {
                 eprintln!("{diags}");
-                ExitCode::FAILURE
+                ExitCode::from(2)
             }
         };
     }
@@ -89,7 +114,7 @@ fn main() -> ExitCode {
             }
             Err(diags) => {
                 eprintln!("{diags}");
-                ExitCode::FAILURE
+                ExitCode::from(2)
             }
         };
     }
@@ -105,14 +130,48 @@ fn main() -> ExitCode {
                     Ok(()) => ExitCode::SUCCESS,
                     Err(e) => {
                         eprintln!("pardis-idlc: cannot write {path}: {e}");
-                        ExitCode::FAILURE
+                        ExitCode::from(2)
                     }
                 }
             }
         },
         Err(diags) => {
             eprintln!("{diags}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
+    }
+}
+
+/// `--analyze`: run the PA lints. Machine-readable JSON goes to
+/// stdout, human-readable findings to stderr.
+fn run_analyze(source: &str, input: &str, allow: &[String], deny_warnings: bool) -> ExitCode {
+    let model = match pardis_idl::parse_and_check(source, input) {
+        Ok(m) => m,
+        Err(diags) => {
+            // The file does not even compile; report that, still in
+            // schema, and exit 2 (the findings are not lints).
+            println!("{}", diags.to_json());
+            eprintln!("{diags}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = LintOptions {
+        allow: allow.to_vec(),
+    };
+    let findings = model.lint(&opts);
+    println!("{}", findings.to_json());
+    if findings.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("{findings}");
+    eprintln!(
+        "pardis-idlc: {} error(s), {} warning(s)",
+        findings.error_count(),
+        findings.warning_count()
+    );
+    if findings.has_errors() || (deny_warnings && findings.has_warnings()) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

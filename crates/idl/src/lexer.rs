@@ -33,6 +33,20 @@ pub fn lex(source: &str, file: &str) -> Result<Vec<Token>, Diagnostics> {
             out.push(Token { tok: Tok::Eof, pos });
             return Ok(out);
         }
+        if lx.peek() == b'#' {
+            // Preprocessor-style line. `#pragma` lines surface as
+            // tokens (the analyzer reads `#pragma pardis ...`
+            // directives); everything else (#include, #if, ...) is
+            // skipped: this compiler treats each file as
+            // self-contained.
+            if let Some(text) = lx.hash_line() {
+                out.push(Token {
+                    tok: Tok::Pragma(text),
+                    pos,
+                });
+            }
+            continue;
+        }
         let tok = lx.next_token(pos)?;
         out.push(Token { tok, pos });
     }
@@ -105,17 +119,22 @@ impl<'a> Lexer<'a> {
                         self.bump();
                     }
                 }
-                b'#' => {
-                    // Preprocessor-style lines (#include, #pragma) are
-                    // skipped: PARDIS IDL files may carry them but this
-                    // compiler treats each file as self-contained.
-                    while !self.eof() && self.peek() != b'\n' {
-                        self.bump();
-                    }
-                }
                 _ => return Ok(()),
             }
         }
+    }
+
+    /// Consume a `#`-line; return the directive text for `#pragma`
+    /// lines, `None` for other preprocessor-style lines.
+    fn hash_line(&mut self) -> Option<String> {
+        self.bump(); // '#'
+        let mut line = String::new();
+        while !self.eof() && self.peek() != b'\n' {
+            line.push(self.bump() as char);
+        }
+        let line = line.trim();
+        line.strip_prefix("pragma")
+            .map(|rest| rest.trim().to_string())
     }
 
     fn next_token(&mut self, pos: Pos) -> Result<Tok, Diagnostics> {
@@ -313,6 +332,16 @@ mod tests {
     fn preprocessor_lines_skipped() {
         let ts = toks("#include \"x.idl\"\nmodule m {};");
         assert_eq!(ts[0], Tok::Keyword(Kw::Module));
+    }
+
+    #[test]
+    fn pragma_lines_surface_as_tokens() {
+        let ts = toks("#pragma pardis threads 4\nmodule m {};");
+        assert_eq!(ts[0], Tok::Pragma("pardis threads 4".into()));
+        assert_eq!(ts[1], Tok::Keyword(Kw::Module));
+        // Non-pragma hash lines still vanish.
+        let ts = toks("#if 0\n#pragma  pardis allow PA003 \ninterface i;");
+        assert_eq!(ts[0], Tok::Pragma("pardis allow PA003".into()));
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod ast;
 pub mod codegen;
 pub mod diag;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod pretty;
 pub mod sema;

@@ -1,0 +1,645 @@
+//! Distribution-template lints: the static half of `pardis-analyze`.
+//!
+//! Each lint is a [`LintPass`] with a stable code (`PA001`…), run over
+//! a checked [`Model`] by [`run`]. Passes flag illegal or ineffective
+//! distribution templates and collective-invocation hazards that the
+//! type checker accepts but that deadlock or waste work at run time:
+//!
+//! | code  | severity | finding |
+//! |-------|----------|---------|
+//! | PA001 | error    | `proportions` weights are all zero |
+//! | PA002 | error    | `proportions` arity ≠ `#pragma pardis threads N` |
+//! | PA003 | warning  | a thread owns no elements (small bound / zero weight) |
+//! | PA004 | warning  | redistribution to a template identical to the default |
+//! | PA005 | warning  | `oneway` op with a distributed arg not `idempotent` |
+//! | PA006 | warning  | one op's dsequence args carry divergent templates |
+//! | PA007 | warning  | unrecognized `#pragma pardis` directive |
+//!
+//! Suppression: per-file `#pragma pardis allow PA004,PA005`, or the
+//! `--allow` flag of `pardis-idlc --analyze` ([`LintOptions::allow`]).
+
+use crate::ast::{Def, DistAnnot, OpDecl, ParamDir, Type};
+use crate::diag::{Diagnostic, Diagnostics, Pos, Severity};
+use crate::sema::{Model, Symbol};
+use std::collections::HashSet;
+
+/// Options for a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Lint codes to suppress (in addition to any the file allows via
+    /// `#pragma pardis allow ...`).
+    pub allow: Vec<String>,
+}
+
+/// One pluggable lint.
+pub trait LintPass {
+    /// Stable code, `PA001`…
+    fn code(&self) -> &'static str;
+    /// One-line description for catalogs and docs.
+    fn summary(&self) -> &'static str;
+    /// Severity of this pass's findings.
+    fn severity(&self) -> Severity;
+    /// Inspect the model, pushing findings.
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics);
+}
+
+/// The full registry, in code order.
+pub fn all_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(ZeroProportions),
+        Box::new(ProportionsArity),
+        Box::new(StarvedThread),
+        Box::new(IdentityRedistribution),
+        Box::new(OnewayDistNotIdempotent),
+        Box::new(DivergentArgTemplates),
+        Box::new(UnknownPardisPragma),
+    ]
+}
+
+/// Run every (non-suppressed) pass over `model`; findings come back
+/// sorted by source position.
+pub fn run(model: &Model, opts: &LintOptions) -> Diagnostics {
+    let ctx = LintCtx::new(model);
+    let mut allow: HashSet<String> = opts.allow.iter().cloned().collect();
+    allow.extend(ctx.allowed.iter().cloned());
+    let mut out = Diagnostics::new();
+    for pass in all_passes() {
+        if !allow.contains(pass.code()) {
+            pass.run(&ctx, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// One syntactic `dsequence` occurrence (typedef or parameter).
+struct DseqSite {
+    pos: Pos,
+    /// Where the type was written, for messages: ``typedef `arr` `` or
+    /// ``parameter `d` of operation `diffusion` ``.
+    desc: String,
+    bound: Option<u64>,
+    annot: Option<DistAnnot>,
+}
+
+/// One operation, with the scope needed to resolve its types.
+struct OpSite<'m> {
+    scope: String,
+    op: &'m OpDecl,
+}
+
+/// Everything the passes look at, computed once per run.
+pub struct LintCtx<'m> {
+    model: &'m Model,
+    /// Thread count from `#pragma pardis threads N`, if declared.
+    declared_threads: Option<u64>,
+    /// Codes allowed via `#pragma pardis allow ...`.
+    allowed: Vec<String>,
+    /// `pardis` pragmas that did not parse (pos, text).
+    bad_pragmas: Vec<(Pos, String)>,
+    sites: Vec<DseqSite>,
+    ops: Vec<OpSite<'m>>,
+}
+
+impl<'m> LintCtx<'m> {
+    fn new(model: &'m Model) -> LintCtx<'m> {
+        let mut ctx = LintCtx {
+            model,
+            declared_threads: None,
+            allowed: Vec::new(),
+            bad_pragmas: Vec::new(),
+            sites: Vec::new(),
+            ops: Vec::new(),
+        };
+        ctx.read_pragmas();
+        ctx.collect(&model.spec.defs, "");
+        ctx
+    }
+
+    fn read_pragmas(&mut self) {
+        for p in &self.model.spec.pragmas {
+            let Some(rest) = p.text.strip_prefix("pardis") else {
+                continue; // other namespaces are not ours to judge
+            };
+            let words: Vec<&str> = rest.split_whitespace().collect();
+            match words.as_slice() {
+                ["threads", n] => match n.parse::<u64>() {
+                    Ok(n) if n > 0 => self.declared_threads = Some(n),
+                    _ => self.bad_pragmas.push((p.pos, p.text.clone())),
+                },
+                ["allow", codes] => {
+                    self.allowed
+                        .extend(codes.split(',').map(|c| c.trim().to_string()));
+                }
+                _ => self.bad_pragmas.push((p.pos, p.text.clone())),
+            }
+        }
+    }
+
+    fn collect(&mut self, defs: &'m [Def], scope: &str) {
+        for def in defs {
+            match def {
+                Def::Module(m) => {
+                    let inner = if scope.is_empty() {
+                        m.name.clone()
+                    } else {
+                        format!("{scope}::{}", m.name)
+                    };
+                    self.collect(&m.defs, &inner);
+                }
+                Def::Typedef(t) => {
+                    if let Type::DSequence(_, bound, annot) = &t.ty {
+                        self.sites.push(DseqSite {
+                            pos: t.pos,
+                            desc: format!("typedef `{}`", t.name),
+                            bound: *bound,
+                            annot: annot.clone(),
+                        });
+                    }
+                }
+                Def::Interface(i) => {
+                    for op in &i.ops {
+                        self.ops.push(OpSite {
+                            scope: scope.to_string(),
+                            op,
+                        });
+                        for p in &op.params {
+                            if let Type::DSequence(_, bound, annot) = &p.ty {
+                                self.sites.push(DseqSite {
+                                    pos: p.pos,
+                                    desc: format!(
+                                        "parameter `{}` of operation `{}`",
+                                        p.name, op.name
+                                    ),
+                                    bound: *bound,
+                                    annot: annot.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Resolve a parameter type to its dsequence shape (bound,
+    /// annotation), chasing typedefs. `None` if not distributed.
+    fn dseq_shape(&self, ty: &Type, scope: &str) -> Option<(Option<u64>, Option<DistAnnot>)> {
+        let mut ty = ty.clone();
+        let mut scope = scope.to_string();
+        for _ in 0..64 {
+            match ty {
+                Type::DSequence(_, bound, annot) => return Some((bound, annot)),
+                Type::Named(ref name) => match self.model.lookup(&scope, name) {
+                    Some((qname, Symbol::Typedef(inner))) => {
+                        scope = crate::sema::parent_scope(qname);
+                        ty = inner.clone();
+                    }
+                    _ => return None,
+                },
+                _ => return None,
+            }
+        }
+        None
+    }
+}
+
+fn finding(pass: &dyn LintPass, ctx: &LintCtx<'_>, pos: Pos, msg: String) -> Diagnostic {
+    Diagnostic::lint(pass.code(), pass.severity(), &ctx.model.file, pos, msg)
+}
+
+/// PA001: a `proportions` template whose weights are all zero assigns
+/// every element to nobody — no thread would own any data.
+struct ZeroProportions;
+impl LintPass for ZeroProportions {
+    fn code(&self) -> &'static str {
+        "PA001"
+    }
+    fn summary(&self) -> &'static str {
+        "proportions weights are all zero"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for s in &ctx.sites {
+            if let Some(DistAnnot::Proportions(ws)) = &s.annot {
+                if ws.iter().all(|&w| w == 0) {
+                    out.push(finding(
+                        self,
+                        ctx,
+                        s.pos,
+                        format!(
+                            "{}: all `proportions` weights are zero; no thread would own any element",
+                            s.desc
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// PA002: the number of `proportions` weights fixes the machine's
+/// thread count; if the file declares one, they must agree.
+struct ProportionsArity;
+impl LintPass for ProportionsArity {
+    fn code(&self) -> &'static str {
+        "PA002"
+    }
+    fn summary(&self) -> &'static str {
+        "proportions arity differs from the declared thread count"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        let Some(threads) = ctx.declared_threads else {
+            return;
+        };
+        for s in &ctx.sites {
+            if let Some(DistAnnot::Proportions(ws)) = &s.annot {
+                if ws.len() as u64 != threads {
+                    out.push(finding(
+                        self,
+                        ctx,
+                        s.pos,
+                        format!(
+                            "{}: `proportions` names {} threads but `#pragma pardis threads` declares {}",
+                            s.desc,
+                            ws.len(),
+                            threads
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// PA003: a thread that owns no elements still participates in every
+/// collective — declared parallelism the distribution cannot deliver.
+struct StarvedThread;
+impl LintPass for StarvedThread {
+    fn code(&self) -> &'static str {
+        "PA003"
+    }
+    fn summary(&self) -> &'static str {
+        "a computing thread owns no elements under this template"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for s in &ctx.sites {
+            if let Some(DistAnnot::Proportions(ws)) = &s.annot {
+                if !ws.iter().all(|&w| w == 0) {
+                    if let Some(i) = ws.iter().position(|&w| w == 0) {
+                        out.push(finding(
+                            self,
+                            ctx,
+                            s.pos,
+                            format!(
+                                "{}: `proportions` weight {i} is zero; thread {i} owns no elements",
+                                s.desc
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+            }
+            if let (Some(bound), Some(threads)) = (s.bound, ctx.declared_threads) {
+                if bound < threads {
+                    out.push(finding(
+                        self,
+                        ctx,
+                        s.pos,
+                        format!(
+                            "{}: bound {bound} is smaller than the declared thread count \
+                             {threads}; some threads own no elements",
+                            s.desc
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// PA004: an explicit template identical to the effective default
+/// requests a redistribution that moves nothing.
+struct IdentityRedistribution;
+impl LintPass for IdentityRedistribution {
+    fn code(&self) -> &'static str {
+        "PA004"
+    }
+    fn summary(&self) -> &'static str {
+        "redistribution to a template identical to the default"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for s in &ctx.sites {
+            match &s.annot {
+                Some(DistAnnot::Block) => {
+                    out.push(finding(
+                        self,
+                        ctx,
+                        s.pos,
+                        format!(
+                            "{}: explicit `block` matches the default distribution; \
+                             redistribution to an identical template is a no-op",
+                            s.desc
+                        ),
+                    ));
+                }
+                Some(DistAnnot::Proportions(ws))
+                    if ws.len() > 1 && ws[0] > 0 && ws.iter().all(|&w| w == ws[0]) =>
+                {
+                    out.push(finding(
+                        self,
+                        ctx,
+                        s.pos,
+                        format!(
+                            "{}: all `proportions` weights are equal, which is the default \
+                             blockwise distribution; redistribution to an identical template \
+                             is a no-op",
+                            s.desc
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// PA005: a request is satisfied only when delivered to *all*
+/// computing threads; a `oneway` op with a distributed argument that a
+/// retry policy cannot re-send leaves partial deliveries undetectable.
+struct OnewayDistNotIdempotent;
+impl LintPass for OnewayDistNotIdempotent {
+    fn code(&self) -> &'static str {
+        "PA005"
+    }
+    fn summary(&self) -> &'static str {
+        "oneway op with a distributed argument is not marked idempotent"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for site in &ctx.ops {
+            let op = site.op;
+            if !op.oneway || op.idempotent {
+                continue;
+            }
+            let has_dist = op
+                .params
+                .iter()
+                .any(|p| ctx.dseq_shape(&p.ty, &site.scope).is_some());
+            if has_dist {
+                out.push(finding(
+                    self,
+                    ctx,
+                    op.pos,
+                    format!(
+                        "oneway operation `{}` has a distributed argument but is not marked \
+                         `idempotent`; a partially delivered collective cannot be safely retried",
+                        op.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// PA006: two dsequence arguments of one operation with different
+/// templates make every invocation redistribute them differently —
+/// usually a copy-paste divergence, and a collective-consistency
+/// hazard when the templates disagree about the thread count.
+struct DivergentArgTemplates;
+impl LintPass for DivergentArgTemplates {
+    fn code(&self) -> &'static str {
+        "PA006"
+    }
+    fn summary(&self) -> &'static str {
+        "one operation's dsequence arguments carry divergent templates"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for site in &ctx.ops {
+            let op = site.op;
+            let dist: Vec<(&str, DistAnnot, Pos)> = op
+                .params
+                .iter()
+                .filter(|p| p.dir != ParamDir::Out)
+                .filter_map(|p| {
+                    ctx.dseq_shape(&p.ty, &site.scope).map(|(_, annot)| {
+                        (p.name.as_str(), annot.unwrap_or(DistAnnot::Block), p.pos)
+                    })
+                })
+                .collect();
+            for pair in dist.windows(2) {
+                if pair[0].1 != pair[1].1 {
+                    out.push(finding(
+                        self,
+                        ctx,
+                        pair[1].2,
+                        format!(
+                            "operation `{}`: arguments `{}` and `{}` carry divergent \
+                             distribution templates; every invocation redistributes them \
+                             differently",
+                            op.name, pair[0].0, pair[1].0
+                        ),
+                    ));
+                    break; // one finding per operation
+                }
+            }
+        }
+    }
+}
+
+/// PA007: a `#pragma pardis` directive the analyzer does not
+/// understand is more likely a typo than a new dialect.
+struct UnknownPardisPragma;
+impl LintPass for UnknownPardisPragma {
+    fn code(&self) -> &'static str {
+        "PA007"
+    }
+    fn summary(&self) -> &'static str {
+        "unrecognized #pragma pardis directive"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for (pos, text) in &ctx.bad_pragmas {
+            out.push(finding(
+                self,
+                ctx,
+                *pos,
+                format!(
+                    "unrecognized directive `#pragma {text}`; expected \
+                     `pardis threads N` or `pardis allow PAxxx[,PAxxx...]`"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_and_check;
+
+    fn lint_src(src: &str) -> Diagnostics {
+        let model = parse_and_check(src, "t.idl").unwrap();
+        run(&model, &LintOptions::default())
+    }
+
+    fn codes(d: &Diagnostics) -> Vec<&str> {
+        d.items
+            .iter()
+            .map(|d| d.code.as_deref().unwrap_or("?"))
+            .collect()
+    }
+
+    #[test]
+    fn clean_idl_has_no_findings() {
+        let d = lint_src(
+            "typedef dsequence<double, 1024> diff_array;
+             interface diff_object { void diffusion(in long t, inout diff_array d); };",
+        );
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn pa001_all_zero_weights() {
+        let d = lint_src("typedef dsequence<double, 64, proportions<0, 0>> z;");
+        assert_eq!(codes(&d), vec!["PA001"]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn pa002_arity_mismatch_needs_pragma() {
+        let with = lint_src(
+            "#pragma pardis threads 4\n typedef dsequence<double, 64, proportions<1, 2>> p;",
+        );
+        assert_eq!(codes(&with), vec!["PA002"]);
+        // Without a declared thread count the arity is unknowable.
+        let without = lint_src("typedef dsequence<double, 64, proportions<1, 2>> p;");
+        assert!(without.is_empty(), "{without}");
+    }
+
+    #[test]
+    fn pa003_starved_threads() {
+        let d = lint_src("#pragma pardis threads 8\n typedef dsequence<double, 4> small;");
+        assert_eq!(codes(&d), vec!["PA003"]);
+        let d = lint_src("typedef dsequence<double, 64, proportions<1, 0, 1>> gap;");
+        assert_eq!(codes(&d), vec!["PA003"]);
+    }
+
+    #[test]
+    fn pa004_identity_redistribution() {
+        let d = lint_src("typedef dsequence<double, 1024, block> b;");
+        assert_eq!(codes(&d), vec!["PA004"]);
+        let d = lint_src("typedef dsequence<double, 1024, proportions<2, 2, 2, 2>> eq;");
+        assert_eq!(codes(&d), vec!["PA004"]);
+        // Genuinely skewed proportions are fine.
+        let d = lint_src("typedef dsequence<double, 1024, proportions<2, 1, 1, 1>> skew;");
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn pa005_oneway_dist_without_idempotent() {
+        let d = lint_src(
+            "typedef dsequence<double> arr;
+             interface i { oneway void push(in arr a); };",
+        );
+        assert_eq!(codes(&d), vec!["PA005"]);
+        // Marked idempotent: fine. No dist arg: fine.
+        let d = lint_src(
+            "typedef dsequence<double> arr;
+             interface i { oneway idempotent void push(in arr a); oneway void ping(in long x); };",
+        );
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn pa006_divergent_templates() {
+        let d = lint_src(
+            "interface i { void f(in dsequence<double, 8, proportions<3, 1>> a,
+                                  in dsequence<double, 8, proportions<1, 3>> b); };",
+        );
+        assert_eq!(codes(&d), vec!["PA006"]);
+        // Same template on both: no divergence (and no identity lint —
+        // skewed weights differ from the default).
+        let d = lint_src(
+            "interface i { void f(in dsequence<double, 8, proportions<3, 1>> a,
+                                  in dsequence<double, 8, proportions<3, 1>> b); };",
+        );
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn pa007_unknown_pardis_pragma() {
+        let d = lint_src("#pragma pardis frobnicate\n typedef long x;");
+        assert_eq!(codes(&d), vec!["PA007"]);
+        // Foreign pragma namespaces are ignored.
+        let d = lint_src("#pragma once\n typedef long x;");
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn suppression_via_pragma_and_options() {
+        let src = "typedef dsequence<double, 1024, block> b;";
+        let suppressed = lint_src(&format!("#pragma pardis allow PA004\n{src}"));
+        assert!(suppressed.is_empty(), "{suppressed}");
+        let model = parse_and_check(src, "t.idl").unwrap();
+        let opts = LintOptions {
+            allow: vec!["PA004".into()],
+        };
+        assert!(run(&model, &opts).is_empty());
+    }
+
+    #[test]
+    fn findings_sort_by_position() {
+        let d = lint_src(
+            "typedef dsequence<double, 64, proportions<0, 0>> z;
+             typedef dsequence<double, 1024, block> b;
+             typedef dsequence<double, 64, proportions<1, 0>> gap;",
+        );
+        assert_eq!(codes(&d), vec!["PA001", "PA004", "PA003"]);
+        let lines: Vec<u32> = d.items.iter().map(|i| i.pos.line).collect();
+        assert!(lines.windows(2).all(|w| w[0] <= w[1]), "{lines:?}");
+    }
+
+    #[test]
+    fn typedef_chasing_finds_dist_params() {
+        // The oneway op's arg is distributed only through two typedefs.
+        let d = lint_src(
+            "typedef dsequence<double> arr;
+             typedef arr arr2;
+             interface i { oneway void push(in arr2 a); };",
+        );
+        assert_eq!(codes(&d), vec!["PA005"]);
+    }
+
+    #[test]
+    fn registry_is_complete_and_distinct() {
+        let passes = all_passes();
+        let codes: Vec<&str> = passes.iter().map(|p| p.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007"]
+        );
+        for p in &passes {
+            assert!(!p.summary().is_empty());
+        }
+    }
+}

@@ -8,16 +8,29 @@ struct Parser<'a> {
     toks: Vec<Token>,
     i: usize,
     file: &'a str,
+    /// `#pragma` directives seen anywhere in the file.
+    pragmas: Vec<Pragma>,
 }
 
 /// Parse a token stream into a [`Spec`].
 pub fn parse(toks: Vec<Token>, file: &str) -> Result<Spec, Diagnostics> {
-    let mut p = Parser { toks, i: 0, file };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        file,
+        pragmas: Vec::new(),
+    };
     let mut defs = Vec::new();
     while !p.at(&Tok::Eof) {
+        if p.take_pragma() {
+            continue;
+        }
         defs.push(p.definition()?);
     }
-    Ok(Spec { defs })
+    Ok(Spec {
+        defs,
+        pragmas: p.pragmas,
+    })
 }
 
 impl<'a> Parser<'a> {
@@ -92,6 +105,18 @@ impl<'a> Parser<'a> {
         Ok(s)
     }
 
+    /// If the current token is a `#pragma`, record it and advance.
+    fn take_pragma(&mut self) -> bool {
+        let pos = self.pos();
+        if let Tok::Pragma(text) = self.peek().clone() {
+            self.bump();
+            self.pragmas.push(Pragma { text, pos });
+            true
+        } else {
+            false
+        }
+    }
+
     fn definition(&mut self) -> Result<Def, Diagnostics> {
         let pos = self.pos();
         match self.peek().clone() {
@@ -114,6 +139,9 @@ impl<'a> Parser<'a> {
         while !self.at(&Tok::RBrace) {
             if self.at(&Tok::Eof) {
                 return self.err("unterminated module body");
+            }
+            if self.take_pragma() {
+                continue;
             }
             defs.push(self.definition()?);
         }
@@ -190,12 +218,20 @@ impl<'a> Parser<'a> {
     }
 
     fn operation(&mut self, pos: Pos) -> Result<OpDecl, Diagnostics> {
-        let oneway = if self.at_kw(Kw::Oneway) {
-            self.bump();
-            true
-        } else {
-            false
-        };
+        // Qualifiers may appear in either order; each at most once.
+        let mut oneway = false;
+        let mut idempotent = false;
+        loop {
+            if self.at_kw(Kw::Oneway) && !oneway {
+                self.bump();
+                oneway = true;
+            } else if self.at_kw(Kw::Idempotent) && !idempotent {
+                self.bump();
+                idempotent = true;
+            } else {
+                break;
+            }
+        }
         let ret = self.type_spec()?;
         let name = self.ident()?;
         self.expect(Tok::LParen)?;
@@ -223,6 +259,7 @@ impl<'a> Parser<'a> {
         Ok(OpDecl {
             name,
             oneway,
+            idempotent,
             ret,
             params,
             raises,
@@ -454,6 +491,34 @@ impl<'a> Parser<'a> {
                             self.bump();
                             dist = Some(DistAnnot::Block);
                         }
+                        Tok::Keyword(Kw::Proportions) => {
+                            if dist.is_some() {
+                                return self.err("duplicate dsequence distribution");
+                            }
+                            self.bump();
+                            self.expect(Tok::LAngle)?;
+                            let mut weights = Vec::new();
+                            loop {
+                                match self.peek().clone() {
+                                    Tok::IntLit(w) => {
+                                        self.bump();
+                                        weights.push(w);
+                                    }
+                                    other => {
+                                        return self.err(format!(
+                                            "expected a proportions weight, found {other}"
+                                        ))
+                                    }
+                                }
+                                if self.at(&Tok::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                            self.expect(Tok::RAngle)?;
+                            dist = Some(DistAnnot::Proportions(weights));
+                        }
                         other => {
                             return self.err(format!(
                                 "expected dsequence bound or distribution, found {other}"
@@ -625,6 +690,58 @@ mod tests {
             ),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn proportions_annotation_parses() {
+        let spec = parse_src("typedef dsequence<double, 1024, proportions<2, 1, 1>> a;").unwrap();
+        match &spec.defs[0] {
+            Def::Typedef(t) => assert_eq!(
+                t.ty,
+                Type::DSequence(
+                    Box::new(Type::Double),
+                    Some(1024),
+                    Some(DistAnnot::Proportions(vec![2, 1, 1]))
+                )
+            ),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_src("typedef dsequence<double, proportions<>> a;").is_err());
+        assert!(parse_src("typedef dsequence<double, block, proportions<1>> a;").is_err());
+    }
+
+    #[test]
+    fn idempotent_qualifier_parses() {
+        let spec = parse_src(
+            "interface i {
+                idempotent void set(in double v);
+                oneway idempotent void push(in double v);
+                idempotent oneway void nudge(in double v);
+                void plain();
+            };",
+        )
+        .unwrap();
+        match &spec.defs[0] {
+            Def::Interface(i) => {
+                assert!(i.ops[0].idempotent && !i.ops[0].oneway);
+                assert!(i.ops[1].idempotent && i.ops[1].oneway);
+                assert!(i.ops[2].idempotent && i.ops[2].oneway);
+                assert!(!i.ops[3].idempotent);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pragmas_are_collected() {
+        let spec = parse_src(
+            "#pragma pardis threads 4\n\
+             module m {\n#pragma pardis allow PA004\n typedef long x; };",
+        )
+        .unwrap();
+        let texts: Vec<&str> = spec.pragmas.iter().map(|p| p.text.as_str()).collect();
+        assert_eq!(texts, vec!["pardis threads 4", "pardis allow PA004"]);
+        assert_eq!(spec.pragmas[0].pos.line, 1);
     }
 
     #[test]

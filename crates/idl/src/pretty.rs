@@ -12,6 +12,11 @@ pub fn print_spec(spec: &Spec) -> String {
         out: String::new(),
         indent: 0,
     };
+    // Pragmas are hoisted to the top of the normalized form (they are
+    // file-scoped directives regardless of where they appeared).
+    for pragma in &spec.pragmas {
+        p.line(&format!("#pragma {}", pragma.text));
+    }
     for def in &spec.defs {
         p.def(def);
     }
@@ -104,7 +109,13 @@ impl Printer {
     }
 
     fn op(&mut self, op: &OpDecl) {
-        let oneway = if op.oneway { "oneway " } else { "" };
+        let mut oneway = String::new();
+        if op.oneway {
+            oneway.push_str("oneway ");
+        }
+        if op.idempotent {
+            oneway.push_str("idempotent ");
+        }
         let params: Vec<String> = op
             .params
             .iter()
@@ -154,8 +165,13 @@ pub fn type_str(ty: &Type) -> String {
             if let Some(b) = bound {
                 s.push_str(&format!(", {b}"));
             }
-            if dist.is_some() {
-                s.push_str(", block");
+            match dist {
+                None => {}
+                Some(DistAnnot::Block) => s.push_str(", block"),
+                Some(DistAnnot::Proportions(ws)) => {
+                    let ws: Vec<String> = ws.iter().map(|w| w.to_string()).collect();
+                    s.push_str(&format!(", proportions<{}>", ws.join(", ")));
+                }
             }
             s.push('>');
             s
@@ -192,7 +208,9 @@ mod tests {
     }
 
     const RICH: &str = r#"
+        #pragma pardis threads 4
         module m {
+            typedef dsequence<double, 1024, proportions<2, 1, 1, 1>> weighted;
             const long MAX = 16;
             const double PI = 3.5;
             const string NAME = "x";
@@ -206,6 +224,7 @@ mod tests {
                 readonly attribute long n;
                 attribute double rate;
                 oneway void log(in string msg);
+                idempotent void set(in double v);
                 double work(in arr a, inout arr b, out long n2) raises(oops);
             };
         };
@@ -267,6 +286,11 @@ mod tests {
             }
         }
         fix(&mut spec.defs);
+        // Pragmas are hoisted to the top on print, so their reparsed
+        // positions legitimately differ too.
+        for p in &mut spec.pragmas {
+            p.pos = crate::diag::Pos::default();
+        }
         spec
     }
 
@@ -276,6 +300,14 @@ mod tests {
         assert_eq!(
             type_str(&Type::DSequence(Box::new(Type::Double), Some(8), None)),
             "dsequence<double, 8>"
+        );
+        assert_eq!(
+            type_str(&Type::DSequence(
+                Box::new(Type::Long),
+                None,
+                Some(DistAnnot::Proportions(vec![3, 1]))
+            )),
+            "dsequence<long, proportions<3, 1>>"
         );
         assert_eq!(
             type_str(&Type::Sequence(

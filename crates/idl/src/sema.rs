@@ -444,6 +444,12 @@ impl Model {
         }
     }
 
+    /// Run the analyzer lint passes (`PA001`…) over this checked
+    /// model. See [`crate::lint`] for the catalog.
+    pub fn lint(&self, opts: &crate::lint::LintOptions) -> Diagnostics {
+        crate::lint::run(self, opts)
+    }
+
     fn check_type(
         &self,
         ty: &Type,
@@ -461,7 +467,7 @@ impl Model {
     }
 }
 
-fn parent_scope(qname: &str) -> String {
+pub(crate) fn parent_scope(qname: &str) -> String {
     match qname.rfind("::") {
         Some(i) => qname[..i].to_string(),
         None => String::new(),

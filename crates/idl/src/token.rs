@@ -36,6 +36,12 @@ pub enum Kw {
     False_,
     /// `block` — distribution annotation in `dsequence<T, N, block>`.
     Block,
+    /// `proportions` — weighted distribution annotation in
+    /// `dsequence<T, N, proportions<2, 1, 1>>`.
+    Proportions,
+    /// `idempotent` — operation qualifier: safe to re-invoke after a
+    /// transport fault, so retry policies apply.
+    Idempotent,
 }
 
 impl Kw {
@@ -76,6 +82,8 @@ impl Kw {
             "TRUE" => Kw::True_,
             "FALSE" => Kw::False_,
             "block" => Kw::Block,
+            "proportions" => Kw::Proportions,
+            "idempotent" => Kw::Idempotent,
             _ => return None,
         })
     }
@@ -89,6 +97,9 @@ pub enum Tok {
     IntLit(u64),
     FloatLit(f64),
     StrLit(String),
+    /// A `#pragma` line, with the text after `#pragma` (trimmed).
+    /// Other preprocessor-style lines are skipped entirely.
+    Pragma(String),
     LBrace,
     RBrace,
     LParen,
@@ -112,6 +123,7 @@ impl fmt::Display for Tok {
             Tok::IntLit(v) => write!(f, "integer literal {v}"),
             Tok::FloatLit(v) => write!(f, "float literal {v}"),
             Tok::StrLit(s) => write!(f, "string literal {s:?}"),
+            Tok::Pragma(s) => write!(f, "`#pragma {s}`"),
             Tok::LBrace => write!(f, "`{{`"),
             Tok::RBrace => write!(f, "`}}`"),
             Tok::LParen => write!(f, "`(`"),

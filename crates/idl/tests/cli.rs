@@ -108,9 +108,103 @@ fn usage_errors() {
     assert_eq!(out.status.code(), Some(2));
     // Missing file.
     let out = idlc().arg("/nonexistent/x.idl").output().unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
+    // --allow without a code.
+    let out = idlc().arg("--analyze").arg("--allow").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
     // Help succeeds.
     let out = idlc().arg("--help").output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}
+
+#[test]
+fn exit_codes_follow_the_scheme() {
+    // 0: clean file.
+    let clean = write_temp("ec_clean.idl", GOOD);
+    let out = idlc().arg("--analyze").arg(&clean).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    // 0: warning-severity finding without --deny-warnings...
+    let warn = write_temp("ec_warn.idl", "typedef dsequence<double, 1024, block> b;");
+    let out = idlc().arg("--analyze").arg(&warn).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("PA004"));
+    // 1: ...but denied warnings fail.
+    let out = idlc()
+        .arg("--analyze")
+        .arg("--deny-warnings")
+        .arg(&warn)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // 1: error-severity finding.
+    let err = write_temp(
+        "ec_err.idl",
+        "typedef dsequence<double, 64, proportions<0, 0>> z;",
+    );
+    let out = idlc().arg("--analyze").arg(&err).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // 2: file that does not parse.
+    let broken = write_temp("ec_broken.idl", "interface x {");
+    let out = idlc().arg("--analyze").arg(&broken).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Compile/check modes use 2 for rejected input as well.
+    let out = idlc().arg("--check").arg(&broken).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = idlc().arg(&broken).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn analyze_emits_schema_json() {
+    let warn = write_temp(
+        "aj_warn.idl",
+        "#pragma pardis threads 4\ntypedef dsequence<double, 64, proportions<1, 2>> p;",
+    );
+    let out = idlc().arg("--analyze").arg(&warn).output().unwrap();
+    let json = String::from_utf8(out.stdout).unwrap();
+    // The stable machine-readable schema: version + findings array with
+    // code/severity/file/line/col/message fields.
+    assert!(json.starts_with("{\"version\":1,\"findings\":["), "{json}");
+    assert!(json.contains("\"code\":\"PA002\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+    assert!(json.contains("\"line\":2"), "{json}");
+    assert!(json.contains("aj_warn.idl"), "{json}");
+    // A clean file still emits the envelope.
+    let clean = write_temp("aj_clean.idl", GOOD);
+    let out = idlc().arg("--analyze").arg(&clean).output().unwrap();
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(json.trim(), "{\"version\":1,\"findings\":[]}");
+}
+
+#[test]
+fn analyze_allow_suppresses_codes() {
+    let warn = write_temp("al_warn.idl", "typedef dsequence<double, 1024, block> b;");
+    let out = idlc()
+        .arg("--analyze")
+        .arg("--allow")
+        .arg("PA004")
+        .arg(&warn)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(json.trim(), "{\"version\":1,\"findings\":[]}");
+}
+
+#[test]
+fn analyze_orders_multiple_findings_by_position() {
+    let multi = write_temp(
+        "multi.idl",
+        "typedef dsequence<double, 64, proportions<0, 0>> z;\n\
+         typedef dsequence<double, 1024, block> b;\n\
+         typedef dsequence<double, 64, proportions<1, 0>> gap;\n",
+    );
+    let out = idlc().arg("--analyze").arg(&multi).output().unwrap();
+    let json = String::from_utf8(out.stdout).unwrap();
+    let order: Vec<usize> = ["PA001", "PA004", "PA003"]
+        .iter()
+        .map(|c| json.find(*c).unwrap_or_else(|| panic!("{c} in {json}")))
+        .collect();
+    assert!(order.windows(2).all(|w| w[0] < w[1]), "{json}");
 }

@@ -18,6 +18,10 @@ use crate::error::{RtsError, RtsResult};
 use crate::reduce::ReduceOp;
 use crate::Tag;
 use bytes::Bytes;
+// The byte-view reinterpretation and its inverse live in pardis-cdr
+// (one documented unsafe block for the whole workspace); intra-machine
+// transfers are native order, so no translation is applied here.
+use pardis_cdr::byteswap::{bytes_to_f64, f64_slice_as_bytes as pardis_bytes_of};
 
 /// Internal tags for the collective algorithms (above
 /// [`crate::RESERVED_TAG_BASE`]). Distinct tags per collective kind keep
@@ -43,7 +47,8 @@ impl Endpoint {
             });
         }
         if self.rank() == root {
-            let data = data.expect("root must supply broadcast data");
+            let data =
+                data.ok_or_else(|| RtsError::Internal("root must supply broadcast data".into()))?;
             for to in 0..self.size() {
                 if to != root {
                     self.send_internal(to, tags::BCAST, data.clone())?;
@@ -74,8 +79,10 @@ impl Endpoint {
             Ok(Some(
                 chunks
                     .into_iter()
-                    .map(|c| c.expect("all ranks sent"))
-                    .collect(),
+                    .map(|c| {
+                        c.ok_or_else(|| RtsError::Internal("gather missed a rank's chunk".into()))
+                    })
+                    .collect::<RtsResult<Vec<Bytes>>>()?,
             ))
         } else {
             self.send_internal(root, tags::GATHER, bytes)?;
@@ -112,7 +119,8 @@ impl Endpoint {
             });
         }
         if self.rank() == root {
-            let chunks = chunks.expect("root must supply scatter chunks");
+            let chunks = chunks
+                .ok_or_else(|| RtsError::Internal("root must supply scatter chunks".into()))?;
             if chunks.len() != self.size() {
                 return Err(RtsError::BadCounts {
                     expected: self.size(),
@@ -127,7 +135,7 @@ impl Endpoint {
                     self.send_internal(to, tags::SCATTER, chunk)?;
                 }
             }
-            Ok(mine.expect("root chunk present"))
+            mine.ok_or_else(|| RtsError::Internal("root's own scatter chunk missing".into()))
         } else {
             self.recv_internal(root, tags::SCATTER)
         }
@@ -148,7 +156,8 @@ impl Endpoint {
             });
         }
         let chunks = if self.rank() == root {
-            let full = full.expect("root must supply the full buffer");
+            let full =
+                full.ok_or_else(|| RtsError::Internal("root must supply the full buffer".into()))?;
             let expected: usize = counts.iter().sum();
             if full.len() != expected {
                 return Err(RtsError::LengthMismatch {
@@ -179,7 +188,8 @@ impl Endpoint {
         // Rank 0 re-broadcasts each chunk; cheap for the metadata-sized
         // payloads this is used for (object references, lengths).
         if self.rank() == 0 {
-            let chunks = gathered.expect("rank 0 gathered");
+            let chunks = gathered
+                .ok_or_else(|| RtsError::Internal("rank 0 missing its gathered chunks".into()))?;
             for to in 1..self.size() {
                 for chunk in &chunks {
                     self.send_internal(to, tags::ALLGATHER, chunk.clone())?;
@@ -269,10 +279,10 @@ impl Endpoint {
             let m = self.recv_any_internal(tags::ALLTOALL)?;
             incoming[m.from] = Some(m.payload);
         }
-        Ok(incoming
+        incoming
             .into_iter()
-            .map(|c| c.expect("all ranks sent"))
-            .collect())
+            .map(|c| c.ok_or_else(|| RtsError::Internal("alltoall missed a rank's chunk".into())))
+            .collect()
     }
 
     // Internal recv helpers that bypass the user-tag check (collective
@@ -285,23 +295,6 @@ impl Endpoint {
     fn recv_any_internal(&self, tag: Tag) -> RtsResult<crate::Message> {
         self.recv_filtered(move |m| m.tag == tag)
     }
-}
-
-/// Reinterpret an `f64` slice as bytes (native order; intra-machine, so
-/// no translation needed — both "machines" share this process).
-#[inline]
-fn pardis_bytes_of(v: &[f64]) -> &[u8] {
-    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
-}
-
-#[inline]
-fn bytes_to_f64(bytes: &[u8], out: &mut Vec<f64>) {
-    debug_assert_eq!(bytes.len() % 8, 0);
-    out.extend(bytes.chunks_exact(8).map(|c| {
-        let mut a = [0u8; 8];
-        a.copy_from_slice(c);
-        f64::from_ne_bytes(a)
-    }));
 }
 
 #[cfg(test)]

@@ -38,6 +38,10 @@ pub struct Endpoint {
     pending: RefCell<VecDeque<Message>>,
     /// Domain-wide barrier.
     barrier: Arc<Barrier>,
+    /// Collective sequence number for the consistency verifier: counts
+    /// how many [`crate::verify`] agreements this rank has entered.
+    #[cfg(feature = "analyze")]
+    verify_seq: std::cell::Cell<u64>,
 }
 
 impl Endpoint {
@@ -53,7 +57,17 @@ impl Endpoint {
             inbox,
             pending: RefCell::new(VecDeque::new()),
             barrier,
+            #[cfg(feature = "analyze")]
+            verify_seq: std::cell::Cell::new(0),
         }
+    }
+
+    /// Advance and return this rank's collective sequence number.
+    #[cfg(feature = "analyze")]
+    pub(crate) fn next_verify_seq(&self) -> u64 {
+        let seq = self.verify_seq.get();
+        self.verify_seq.set(seq + 1);
+        seq
     }
 
     /// This endpoint's rank in `0..size()`.
@@ -135,7 +149,10 @@ impl Endpoint {
         self.drain_inbox();
         let mut pending = self.pending.borrow_mut();
         if let Some(idx) = pending.iter().position(|m| m.from == from && m.tag == tag) {
-            return Ok(Some(pending.remove(idx).expect("index valid").payload));
+            return match pending.remove(idx) {
+                Some(m) => Ok(Some(m.payload)),
+                None => Err(RtsError::Internal("pending index vanished".into())),
+            };
         }
         Ok(None)
     }
@@ -152,7 +169,9 @@ impl Endpoint {
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(idx) = pending.iter().position(&pred) {
-                return Ok(pending.remove(idx).expect("index valid"));
+                return pending
+                    .remove(idx)
+                    .ok_or_else(|| RtsError::Internal("pending index vanished".into()));
             }
         }
         // Then block on the inbox, buffering non-matches.

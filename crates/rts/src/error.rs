@@ -19,6 +19,19 @@ pub enum RtsError {
     BadCounts { expected: usize, got: usize },
     /// Buffer lengths disagreed with the counts metadata.
     LengthMismatch { expected: usize, got: usize },
+    /// The collective-consistency verifier detected that one computing
+    /// thread issued a different collective call than the others: the
+    /// divergence that would otherwise be a silent deadlock. `thread`
+    /// is the first divergent rank; `mine`/`theirs` describe the two
+    /// call sites (the reference rank's and the divergent rank's).
+    CollectiveMismatch {
+        thread: usize,
+        mine: String,
+        theirs: String,
+    },
+    /// An internal invariant failed (a bug in the RTS or its caller,
+    /// surfaced as an error instead of a panic on library paths).
+    Internal(String),
 }
 
 impl fmt::Display for RtsError {
@@ -39,6 +52,19 @@ impl fmt::Display for RtsError {
             RtsError::LengthMismatch { expected, got } => {
                 write!(f, "buffer length {got} does not match expected {expected}")
             }
+            RtsError::CollectiveMismatch {
+                thread,
+                mine,
+                theirs,
+            } => {
+                write!(
+                    f,
+                    "collective mismatch: thread {thread} issued {theirs} while this \
+                     thread issued {mine}; an SPMD invocation must be called by all \
+                     computing threads in the same order"
+                )
+            }
+            RtsError::Internal(msg) => write!(f, "internal runtime error: {msg}"),
         }
     }
 }

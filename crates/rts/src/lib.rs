@@ -48,9 +48,13 @@ pub mod collectives;
 pub mod domain;
 pub mod endpoint;
 pub mod error;
+#[cfg(feature = "analyze")]
+pub mod lockgraph;
 pub mod reduce;
 pub mod rma;
 pub mod traits;
+#[cfg(feature = "analyze")]
+pub mod verify;
 
 pub use domain::Domain;
 pub use endpoint::{Endpoint, Message};

@@ -1,0 +1,335 @@
+//! Lock-order tracking and deadlock-cycle detection (the `analyze`
+//! feature).
+//!
+//! Every tracked lock belongs to a *class* (a static string naming the
+//! lock's role, e.g. `"rma::registry"`). While a thread holds a lock of
+//! class `A` and acquires one of class `B`, the directed edge `A → B`
+//! is recorded in a process-global acquisition-order graph. A cycle in
+//! that graph means two threads can acquire the same classes in
+//! opposite orders — the classic deadlock recipe — even if no deadlock
+//! happened on this particular run.
+//!
+//! Self-edges (re-acquiring the same class, e.g. two per-rank window
+//! parts) are ignored: ordering within one class is governed by rank
+//! index, which this classifier cannot see, and flagging them would
+//! drown real findings (finding code PA102 stays precise).
+//!
+//! Use [`TrackedMutex`] / [`TrackedRwLock`] for new locks, or bracket
+//! an existing acquisition with [`on_acquire`] / [`on_release`] (or an
+//! RAII [`track`] token).
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Deref, DerefMut};
+use std::sync::OnceLock;
+
+type Class = &'static str;
+
+thread_local! {
+    /// Lock classes currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<Class>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The global edge set. Guarded by an *untracked* lock: the tracker
+/// must not observe itself.
+fn edges_cell() -> &'static Mutex<BTreeSet<(Class, Class)>> {
+    static EDGES: OnceLock<Mutex<BTreeSet<(Class, Class)>>> = OnceLock::new();
+    EDGES.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Every class ever acquired (even without nesting) — evidence that a
+/// code path's instrumentation actually ran.
+fn classes_cell() -> &'static Mutex<BTreeSet<Class>> {
+    static CLASSES: OnceLock<Mutex<BTreeSet<Class>>> = OnceLock::new();
+    CLASSES.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Record that this thread is acquiring a lock of `class`.
+pub fn on_acquire(class: Class) {
+    classes_cell().lock().insert(class);
+    HELD.with(|held| {
+        let held = held.borrow();
+        if !held.is_empty() {
+            let mut edges = edges_cell().lock();
+            for &h in held.iter() {
+                if h != class {
+                    edges.insert((h, class));
+                }
+            }
+        }
+        drop(held);
+    });
+    HELD.with(|held| held.borrow_mut().push(class));
+}
+
+/// Record that this thread released its most recent lock of `class`.
+pub fn on_release(class: Class) {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(i) = held.iter().rposition(|&h| h == class) {
+            held.remove(i);
+        }
+    });
+}
+
+/// RAII bracket: tracks `class` as held until the token drops. Declare
+/// the token immediately *before* taking the real guard so the tracked
+/// window covers the guard's lifetime.
+pub fn track(class: Class) -> LockToken {
+    on_acquire(class);
+    LockToken { class }
+}
+
+/// See [`track`].
+pub struct LockToken {
+    class: Class,
+}
+
+impl Drop for LockToken {
+    fn drop(&mut self) {
+        on_release(self.class);
+    }
+}
+
+/// Snapshot of the recorded acquisition-order edges.
+pub fn edges() -> Vec<(Class, Class)> {
+    edges_cell().lock().iter().copied().collect()
+}
+
+/// Snapshot of every lock class acquired so far (nested or not).
+pub fn classes() -> Vec<Class> {
+    classes_cell().lock().iter().copied().collect()
+}
+
+/// Clear all recorded state (between independent test scenarios).
+pub fn reset() {
+    edges_cell().lock().clear();
+    classes_cell().lock().clear();
+}
+
+/// Detect cycles in the acquisition-order graph. Each cycle is
+/// returned as the list of classes along it (first node repeated at
+/// the end), deduplicated by node set.
+pub fn cycles() -> Vec<Vec<Class>> {
+    let edge_list = edges();
+    let mut adj: BTreeMap<Class, Vec<Class>> = BTreeMap::new();
+    for (a, b) in &edge_list {
+        adj.entry(a).or_default().push(b);
+        adj.entry(b).or_default();
+    }
+    let mut found: Vec<Vec<Class>> = Vec::new();
+    let mut seen_sets: BTreeSet<Vec<Class>> = BTreeSet::new();
+    let nodes: Vec<Class> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack: Vec<Class> = Vec::new();
+        dfs(start, &adj, &mut stack, &mut found, &mut seen_sets);
+    }
+    found
+}
+
+fn dfs(
+    node: Class,
+    adj: &BTreeMap<Class, Vec<Class>>,
+    stack: &mut Vec<Class>,
+    found: &mut Vec<Vec<Class>>,
+    seen_sets: &mut BTreeSet<Vec<Class>>,
+) {
+    if let Some(i) = stack.iter().position(|&n| n == node) {
+        // Back edge: stack[i..] is a cycle.
+        let mut cycle: Vec<Class> = stack[i..].to_vec();
+        let mut key = cycle.clone();
+        key.sort_unstable();
+        if seen_sets.insert(key) {
+            cycle.push(node);
+            found.push(cycle);
+        }
+        return;
+    }
+    // Bound the walk: a class can appear once per path.
+    stack.push(node);
+    if let Some(next) = adj.get(node) {
+        for &n in next {
+            dfs(n, adj, stack, found, seen_sets);
+        }
+    }
+    stack.pop();
+}
+
+/// A mutex whose acquisitions feed the lock-order graph.
+pub struct TrackedMutex<T> {
+    class: Class,
+    inner: Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Wrap `value` in a tracked mutex of class `class`.
+    pub fn new(class: Class, value: T) -> TrackedMutex<T> {
+        TrackedMutex {
+            class,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Lock, recording the acquisition.
+    pub fn lock(&self) -> TrackedGuard<MutexGuard<'_, T>> {
+        let token = track(self.class);
+        TrackedGuard {
+            _token: token,
+            guard: self.inner.lock(),
+        }
+    }
+}
+
+/// A reader-writer lock whose acquisitions feed the lock-order graph.
+pub struct TrackedRwLock<T> {
+    class: Class,
+    inner: RwLock<T>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Wrap `value` in a tracked rwlock of class `class`.
+    pub fn new(class: Class, value: T) -> TrackedRwLock<T> {
+        TrackedRwLock {
+            class,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Shared lock, recording the acquisition.
+    pub fn read(&self) -> TrackedGuard<RwLockReadGuard<'_, T>> {
+        let token = track(self.class);
+        TrackedGuard {
+            _token: token,
+            guard: self.inner.read(),
+        }
+    }
+
+    /// Exclusive lock, recording the acquisition.
+    pub fn write(&self) -> TrackedGuard<RwLockWriteGuard<'_, T>> {
+        let token = track(self.class);
+        TrackedGuard {
+            _token: token,
+            guard: self.inner.write(),
+        }
+    }
+}
+
+/// Guard pairing the real lock guard with its tracking token.
+pub struct TrackedGuard<G> {
+    _token: LockToken,
+    guard: G,
+}
+
+impl<G: Deref> Deref for TrackedGuard<G> {
+    type Target = G::Target;
+    fn deref(&self) -> &G::Target {
+        &self.guard
+    }
+}
+
+impl<G: DerefMut> DerefMut for TrackedGuard<G> {
+    fn deref_mut(&mut self) -> &mut G::Target {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// The graph is process-global; serialize tests that reset it.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static G: StdMutex<()> = StdMutex::new(());
+        G.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn nested_acquisition_records_edge() {
+        let _g = guard();
+        reset();
+        let a = TrackedMutex::new("test1::a", 0u32);
+        let b = TrackedMutex::new("test1::b", 0u32);
+        {
+            let _ga = a.lock();
+            let mut gb = b.lock();
+            *gb += 1;
+        }
+        assert!(edges().contains(&("test1::a", "test1::b")));
+        assert!(cycles().is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let _g = guard();
+        reset();
+        let a = TrackedRwLock::new("test2::a", ());
+        let b = TrackedRwLock::new("test2::b", ());
+        {
+            let _ga = a.read();
+            let _gb = b.read();
+        }
+        {
+            let _gb = b.write();
+            let _ga = a.write();
+        }
+        let cys = cycles();
+        assert_eq!(cys.len(), 1, "{cys:?}");
+        assert!(cys[0].contains(&"test2::a") && cys[0].contains(&"test2::b"));
+        // First node repeats at the end.
+        assert_eq!(cys[0].first(), cys[0].last());
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let _g = guard();
+        reset();
+        // Same class twice (like two window parts): no edge, no cycle.
+        let a1 = TrackedMutex::new("test3::part", 0u32);
+        let a2 = TrackedMutex::new("test3::part", 0u32);
+        {
+            let _g1 = a1.lock();
+            let _g2 = a2.lock();
+        }
+        assert!(edges().is_empty());
+        assert!(cycles().is_empty());
+    }
+
+    #[test]
+    fn release_unwinds_held_stack() {
+        let _g = guard();
+        reset();
+        let a = TrackedMutex::new("test4::a", ());
+        let b = TrackedMutex::new("test4::b", ());
+        {
+            let _ga = a.lock();
+        }
+        {
+            // `a` no longer held: no a→b edge.
+            let _gb = b.lock();
+        }
+        assert!(edges().is_empty());
+    }
+
+    #[test]
+    fn three_way_cycle_detected() {
+        let _g = guard();
+        reset();
+        on_acquire("t5::a");
+        on_acquire("t5::b");
+        on_release("t5::b");
+        on_release("t5::a");
+        on_acquire("t5::b");
+        on_acquire("t5::c");
+        on_release("t5::c");
+        on_release("t5::b");
+        on_acquire("t5::c");
+        on_acquire("t5::a");
+        on_release("t5::a");
+        on_release("t5::c");
+        let cys = cycles();
+        assert_eq!(cys.len(), 1, "{cys:?}");
+        assert_eq!(cys[0].len(), 4); // a, b, c + repeat
+    }
+}

@@ -24,6 +24,17 @@ use crate::Endpoint;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
+/// Feed this acquisition to the lock-order graph (`analyze` feature);
+/// compiles to nothing otherwise. Bind the result so the tracked
+/// window covers the guard's lifetime: `let _t = track_lock("...");`.
+#[cfg(feature = "analyze")]
+fn track_lock(class: &'static str) -> crate::lockgraph::LockToken {
+    crate::lockgraph::track(class)
+}
+
+#[cfg(not(feature = "analyze"))]
+fn track_lock(_class: &'static str) {}
+
 /// Shared state of one exposure epoch: every rank's buffer, reachable
 /// from any rank.
 #[derive(Debug)]
@@ -45,19 +56,22 @@ fn registry_publish(inner: Arc<WindowInner>) -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     static NEXT: AtomicU64 = AtomicU64::new(1);
     let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let _t = track_lock("rma::registry");
     registry().lock().insert(id, inner);
     id
 }
 
-fn registry_take(id: u64) -> Arc<WindowInner> {
+fn registry_take(id: u64) -> RtsResult<Arc<WindowInner>> {
+    let _t = track_lock("rma::registry");
     registry()
         .lock()
         .get(&id)
-        .expect("window id published before broadcast")
-        .clone()
+        .cloned()
+        .ok_or_else(|| RtsError::Internal("window id not published before broadcast".into()))
 }
 
 fn registry_retire(inner: &Arc<WindowInner>) {
+    let _t = track_lock("rma::registry");
     registry().lock().retain(|_, v| !Arc::ptr_eq(v, inner));
 }
 
@@ -94,9 +108,12 @@ impl Window {
             let b = rts.broadcast(0, None)?;
             let mut a = [0u8; 8];
             a.copy_from_slice(&b[..8]);
-            registry_take(u64::from_le_bytes(a))
+            registry_take(u64::from_le_bytes(a))?
         };
-        *inner.parts[rts.rank()].write() = local;
+        {
+            let _t = track_lock("rma::window_part");
+            *inner.parts[rts.rank()].write() = local;
+        }
         // Everyone's buffer must be installed before any one-sided
         // access begins.
         rts.barrier();
@@ -122,6 +139,7 @@ impl Window {
     /// Number of elements rank `target` exposes.
     pub fn len_of(&self, target: usize) -> RtsResult<usize> {
         self.check(target, 0, 0)?;
+        let _t = track_lock("rma::window_part");
         Ok(self.inner.parts[target].read().len())
     }
 
@@ -132,6 +150,7 @@ impl Window {
                 size: self.nranks(),
             });
         }
+        let _t = track_lock("rma::window_part");
         let have = self.inner.parts[target].read().len();
         if offset + len > have {
             return Err(RtsError::LengthMismatch {
@@ -146,6 +165,7 @@ impl Window {
     /// exposed buffer. The target does not participate.
     pub fn get(&self, target: usize, offset: usize, len: usize) -> RtsResult<Vec<f64>> {
         self.check(target, offset, len)?;
+        let _t = track_lock("rma::window_part");
         let part = self.inner.parts[target].read();
         Ok(part[offset..offset + len].to_vec())
     }
@@ -159,6 +179,7 @@ impl Window {
     /// buffer.
     pub fn put(&self, target: usize, offset: usize, data: &[f64]) -> RtsResult<()> {
         self.check(target, offset, data.len())?;
+        let _t = track_lock("rma::window_part");
         let mut part = self.inner.parts[target].write();
         part[offset..offset + data.len()].copy_from_slice(data);
         Ok(())
@@ -168,6 +189,7 @@ impl Window {
     /// `target`'s buffer — MPI's `MPI_Accumulate` with `MPI_SUM`.
     pub fn accumulate(&self, target: usize, offset: usize, data: &[f64]) -> RtsResult<()> {
         self.check(target, offset, data.len())?;
+        let _t = track_lock("rma::window_part");
         let mut part = self.inner.parts[target].write();
         for (dst, &x) in part[offset..offset + data.len()].iter_mut().zip(data) {
             *dst += x;
@@ -185,11 +207,13 @@ impl Window {
     /// (possibly remotely mutated) local buffer.
     pub fn free(self, rts: &Endpoint) -> Vec<f64> {
         rts.barrier();
+        let _t = track_lock("rma::window_part");
         std::mem::take(&mut *self.inner.parts[self.rank].write())
     }
 
     /// Snapshot this rank's exposed buffer.
     pub fn local(&self) -> Vec<f64> {
+        let _t = track_lock("rma::window_part");
         self.inner.parts[self.rank].read().clone()
     }
 }
