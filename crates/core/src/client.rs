@@ -90,6 +90,13 @@ pub struct Proxy {
     /// Multi-port invocations demoted to centralized because a server
     /// data port was found dead.
     pub(crate) fallbacks: Cell<u64>,
+    /// Circuit-breaker threshold: after this many consecutive failed
+    /// invocations the binding fast-fails without touching the wire.
+    /// `None` disables the breaker.
+    pub(crate) breaker: Option<u32>,
+    /// Consecutive failed invocations on this binding (machine-agreed
+    /// for collective bindings, so every thread trips together).
+    pub(crate) consecutive_failures: Cell<u32>,
 }
 
 /// The client half of an invocation between its send and receive phases
@@ -164,6 +171,8 @@ impl OrbCtx {
             default_deadline: None,
             retries: Cell::new(0),
             fallbacks: Cell::new(0),
+            breaker: None,
+            consecutive_failures: Cell::new(0),
         })
     }
 
@@ -190,6 +199,8 @@ impl OrbCtx {
             default_deadline: None,
             retries: Cell::new(0),
             fallbacks: Cell::new(0),
+            breaker: None,
+            consecutive_failures: Cell::new(0),
         })
     }
 
@@ -263,6 +274,28 @@ impl Proxy {
         self.default_deadline = deadline;
     }
 
+    /// Arm the per-binding circuit breaker: after `threshold`
+    /// consecutive failed invocations, further calls fast-fail with
+    /// [`PardisError::CircuitOpen`] without touching the wire, until
+    /// [`Proxy::rebind`] replaces the binding. On a collective binding
+    /// every thread must arm the same threshold; the failure count is
+    /// then agreed machine-wide (one extra allreduce per invocation) so
+    /// all threads trip — and fast-fail — together.
+    pub fn set_circuit_breaker(&mut self, threshold: u32) {
+        self.breaker = Some(threshold.max(1));
+    }
+
+    /// Disarm the circuit breaker (and close it).
+    pub fn clear_circuit_breaker(&mut self) {
+        self.breaker = None;
+        self.consecutive_failures.set(0);
+    }
+
+    /// Consecutive failed invocations on this binding so far.
+    pub fn consecutive_failure_count(&self) -> u32 {
+        self.consecutive_failures.get()
+    }
+
     /// Invocation attempts this thread has retried so far.
     pub fn retry_count(&self) -> u64 {
         self.retries.get()
@@ -331,6 +364,42 @@ impl Proxy {
     /// Invoke with an explicit transfer method, overriding
     /// [`Proxy::mode`] for this call.
     pub fn invoke_with_mode(
+        &self,
+        ctx: &OrbCtx,
+        spec: RequestSpec,
+        mode: TransferMode,
+    ) -> PardisResult<ReplyResult> {
+        // Open breaker: fast-fail before any collective or wire
+        // traffic. Counters are machine-agreed (below), so on a
+        // collective binding every thread takes this exit together.
+        if let Some(threshold) = self.breaker {
+            let failures = self.consecutive_failures.get();
+            if failures >= threshold {
+                return Err(PardisError::CircuitOpen { failures });
+            }
+        }
+        let result = self.invoke_attempts(ctx, spec, mode);
+        if self.breaker.is_some() {
+            let failed_here = result.is_err();
+            let failed = if self.collective {
+                ctx.rts
+                    .allreduce_f64(&[if failed_here { 1.0 } else { 0.0 }], ReduceOp::Max)?[0]
+                    > 0.0
+            } else {
+                failed_here
+            };
+            if failed {
+                self.consecutive_failures
+                    .set(self.consecutive_failures.get().saturating_add(1));
+            } else {
+                self.consecutive_failures.set(0);
+            }
+        }
+        result
+    }
+
+    /// The invocation loop proper (retry policy, verdict agreement).
+    fn invoke_attempts(
         &self,
         ctx: &OrbCtx,
         spec: RequestSpec,
@@ -536,6 +605,53 @@ impl Proxy {
             }
         }
         mode
+    }
+
+    /// Replace this binding with a freshly resolved reference to the
+    /// same object — the recovery move after a typed
+    /// [`PardisError::MembershipChange`] or an open circuit breaker.
+    ///
+    /// **Epoch fencing**: only a reference with a *strictly newer*
+    /// membership epoch is accepted. The naming service may still hold
+    /// the pre-death registration when the client reacts, so this polls
+    /// (bounded by the ORB's resolve timeout) until the server's
+    /// re-registration lands; a stale re-resolve can therefore never
+    /// roll the binding back onto dead data ports. Collective on
+    /// collective bindings. Closes the circuit breaker and drops
+    /// buffered replies of the old binding. Returns the new epoch.
+    pub fn rebind(&mut self, ctx: &OrbCtx) -> PardisResult<u64> {
+        let old_epoch = self.objref.epoch;
+        let fresh = if !self.collective || ctx.is_comm_thread() {
+            let deadline = Instant::now() + ctx.resolve_timeout;
+            let fresh = loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let r = ctx
+                    .naming
+                    .resolve(&self.objref.name, Some(self.objref.host), remaining)?;
+                if r.epoch > old_epoch {
+                    break r;
+                }
+                if Instant::now() >= deadline {
+                    return Err(PardisError::Timeout);
+                }
+                std::thread::yield_now();
+            };
+            if self.collective {
+                let bytes = pardis_cdr::traits::to_bytes(&fresh).map_err(PardisError::from)?;
+                ctx.rts.broadcast(0, Some(Bytes::from(bytes)))?;
+            }
+            fresh
+        } else {
+            let bytes = ctx.rts.broadcast(0, None)?;
+            pardis_cdr::traits::from_bytes::<ObjectRef>(&bytes).map_err(PardisError::from)?
+        };
+        if self.conn.is_some() {
+            self.conn = Some(Connection::open(&ctx.host, fresh.host, fresh.request_port));
+        }
+        self.reply_buf.borrow_mut().clear();
+        self.objref = fresh;
+        self.consecutive_failures.set(0);
+        Ok(self.objref.epoch)
     }
 
     /// Complete an invocation: run the receive phase, synchronize, stamp

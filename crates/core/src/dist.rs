@@ -213,6 +213,41 @@ impl DistTempl {
         DistTempl::from_counts(counts)
     }
 
+    /// Redistribute this template's total length over `survivors` only:
+    /// dead threads own zero elements, the survivors split the length
+    /// blockwise in ascending rank order. Arity is preserved (the
+    /// template still names every thread of the machine), and because
+    /// ownership stays contiguous in rank order, concatenating the
+    /// survivors' local parts still yields the global sequence — which
+    /// is what the gather-based reply path depends on.
+    ///
+    /// Errors when `survivors` is empty or names a thread the template
+    /// does not have.
+    pub fn remap_onto(&self, survivors: &[usize]) -> PardisResult<DistTempl> {
+        if survivors.is_empty() {
+            return Err(PardisError::BadDistArg(
+                "cannot remap a distribution onto zero survivors".into(),
+            ));
+        }
+        if let Some(&bad) = survivors.iter().find(|&&s| s >= self.nthreads()) {
+            return Err(PardisError::BadDistArg(format!(
+                "survivor rank {bad} out of range for a {}-thread template",
+                self.nthreads()
+            )));
+        }
+        let mut sorted: Vec<usize> = survivors.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let len = self.len();
+        let base = len / sorted.len();
+        let rem = len % sorted.len();
+        let mut counts = vec![0usize; self.nthreads()];
+        for (i, &s) in sorted.iter().enumerate() {
+            counts[s] = base + usize::from(i < rem);
+        }
+        Ok(DistTempl::from_counts(counts))
+    }
+
     /// Transfers thread `src` must make so data currently laid out by
     /// `self` becomes laid out by `dst_templ`: the list of
     /// `(dst_thread, global_range)` intersections of `src`'s range with
@@ -342,6 +377,30 @@ mod tests {
         let t = DistTempl::from_counts(vec![2, 3, 0]);
         // Last owner is thread 1, so growth lands there.
         assert_eq!(t.resized(8).counts(), &[2, 6, 0]);
+    }
+
+    #[test]
+    fn remap_onto_survivors_preserves_length_and_order() {
+        let t = DistTempl::proportional(13, &Proportions::new(vec![2, 4, 2, 4]));
+        let r = t.remap_onto(&[0, 1, 3]).unwrap();
+        assert_eq!(r.nthreads(), 4, "arity preserved");
+        assert_eq!(r.len(), 13, "length preserved");
+        assert_eq!(r.count(2), 0, "dead rank owns nothing");
+        // Blockwise over survivors ascending: 13 over 3 = 5,4,4.
+        assert_eq!(r.counts(), &[5, 4, 0, 4]);
+        // Contiguity: ranges concatenate back to the global order.
+        assert_eq!(r.range(0), 0..5);
+        assert_eq!(r.range(1), 5..9);
+        assert_eq!(r.range(3), 9..13);
+    }
+
+    #[test]
+    fn remap_onto_rejects_bad_survivor_sets() {
+        let t = DistTempl::block(8, 4);
+        assert!(t.remap_onto(&[]).is_err());
+        assert!(t.remap_onto(&[0, 4]).is_err());
+        // Full survivor set is legal (blockwise re-spread).
+        assert_eq!(t.remap_onto(&[0, 1, 2, 3]).unwrap().counts(), &[2, 2, 2, 2]);
     }
 
     #[test]

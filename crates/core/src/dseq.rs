@@ -339,6 +339,21 @@ impl<T: Elem> DSequence<T> {
         Ok(())
     }
 
+    /// Collective evacuation onto a survivor set: the excluded threads
+    /// give up every element, the survivors split the full length
+    /// blockwise in rank order (see [`DistTempl::remap_onto`]). Values
+    /// and total length are preserved.
+    ///
+    /// This is the graceful-degradation move for a rank the failure
+    /// detector *suspects*: run it while the suspect can still
+    /// participate in the exchange and its data survives the later
+    /// confirmation. After a rank is confirmed dead its local part is
+    /// unrecoverable — evacuation is proactive by design.
+    pub fn redistribute_onto(&mut self, rts: &Endpoint, survivors: &[usize]) -> PardisResult<()> {
+        let new_templ = self.templ.remap_onto(survivors)?;
+        self.redistribute(rts, new_templ)
+    }
+
     /// Collectively materialize the whole sequence on every thread
     /// (debug/verification helper, not a transfer path).
     pub fn to_global(&self, rts: &Endpoint) -> PardisResult<Vec<T>> {
@@ -578,6 +593,22 @@ mod tests {
             // And back to block.
             s.redistribute(&ep, DistTempl::block(20, 4)).unwrap();
             assert_eq!(s.to_global(&ep).unwrap(), want);
+        });
+    }
+
+    #[test]
+    fn redistribute_onto_evacuates_suspected_rank() {
+        Domain::run(4, |ep| {
+            let mut s = DSequence::<f64>::new(&ep, 10, None).unwrap();
+            let off = s.local_range().start;
+            for (i, x) in s.local_data_mut().iter_mut().enumerate() {
+                *x = (off + i) as f64;
+            }
+            s.redistribute_onto(&ep, &[0, 1, 3]).unwrap();
+            assert_eq!(s.len(), 10, "total length preserved");
+            assert_eq!(s.templ().count(2), 0, "suspect owns nothing");
+            let want: Vec<f64> = (0..10).map(|i| i as f64).collect();
+            assert_eq!(s.to_global(&ep).unwrap(), want, "values preserved");
         });
     }
 

@@ -47,6 +47,26 @@ pub enum PardisError {
         /// The divergent thread's call site.
         theirs: String,
     },
+    /// The server machine's SPMD membership changed (a computing thread
+    /// was confirmed dead) and its degradation policy refused to
+    /// complete the invocation. Never retryable as-is: the same binding
+    /// will keep failing; the client must rebind (the re-registered
+    /// reference carries a newer epoch) or give up.
+    MembershipChange {
+        /// Membership epoch after the change.
+        epoch: u64,
+        /// Server ranks confirmed dead, ascending.
+        dead: Vec<u32>,
+        /// Server ranks still alive, ascending.
+        survivors: Vec<u32>,
+    },
+    /// The per-binding circuit breaker opened: consecutive retryable
+    /// failures crossed the threshold, so invocations fast-fail without
+    /// touching the wire until the binding is replaced.
+    CircuitOpen {
+        /// Consecutive failures observed when the breaker opened.
+        failures: u32,
+    },
     /// An internal invariant failed (a bug surfaced as an error instead
     /// of a panic on library paths).
     Internal(String),
@@ -115,6 +135,18 @@ impl fmt::Display for PardisError {
                 "collective mismatch [PA101]: thread {thread} issued {theirs} while this \
                  thread issued {mine}; after _spmd_bind every invocation must be made by \
                  all computing threads in the same order"
+            ),
+            PardisError::MembershipChange {
+                epoch,
+                dead,
+                survivors,
+            } => write!(
+                f,
+                "membership change: epoch {epoch}, dead ranks {dead:?}, survivors {survivors:?}"
+            ),
+            PardisError::CircuitOpen { failures } => write!(
+                f,
+                "circuit breaker open after {failures} consecutive failures; rebind required"
             ),
             PardisError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -197,6 +229,19 @@ mod tests {
         }
         .into();
         assert!(matches!(e, PardisError::CommFailure(_)));
+    }
+
+    #[test]
+    fn membership_change_is_not_retryable() {
+        let e = PardisError::MembershipChange {
+            epoch: 2,
+            dead: vec![1],
+            survivors: vec![0, 2, 3],
+        };
+        assert!(!e.is_retryable(), "retry cannot resurrect a dead rank");
+        assert!(e.to_string().contains("epoch 2"));
+        let e = PardisError::CircuitOpen { failures: 5 };
+        assert!(!e.is_retryable(), "the breaker exists to stop retries");
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub use dseq::{DSequence, Elem};
 pub use error::{PardisError, PardisResult};
 pub use future::PardisFuture;
 pub use naming::NameService;
-pub use orb::{OrbCtx, OrbOptions};
+pub use orb::{DegradePolicy, OrbCtx, OrbOptions};
 pub use request::{ArgDir, DistArgSend, InvokeTiming, ReplyResult, RequestSpec};
 pub use server::{DistIn, Servant, ServerRequest};
 pub use world::{MachineHandle, World};
@@ -94,7 +94,7 @@ pub mod prelude {
     pub use crate::dseq::{DSequence, Elem};
     pub use crate::error::{PardisError, PardisResult};
     pub use crate::future::PardisFuture;
-    pub use crate::orb::{OrbCtx, OrbOptions};
+    pub use crate::orb::{DegradePolicy, OrbCtx, OrbOptions};
     pub use crate::request::{ArgDir, InvokeTiming, ReplyResult, RequestSpec};
     pub use crate::server::{Servant, ServerRequest};
     pub use crate::world::World;

@@ -149,6 +149,7 @@ mod tests {
             data_ports: vec![],
             nthreads: 1,
             distributions: vec![],
+            epoch: 0,
         }
     }
 

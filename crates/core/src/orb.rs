@@ -26,6 +26,38 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+/// What a server machine does with an in-flight or subsequent
+/// invocation once one of its computing threads is confirmed dead.
+///
+/// The policy is evaluated as a pure function of the membership view,
+/// so every surviving thread reaches the same verdict without extra
+/// communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Refuse: reply with a typed membership-change exception so the
+    /// client learns the epoch, the dead ranks, and the survivors, and
+    /// can decide to rebind or give up. The default — degraded results
+    /// are never returned silently.
+    FailFast,
+    /// Complete over the survivors while at least `k` threads live;
+    /// below the quorum, behave like [`DegradePolicy::FailFast`].
+    Quorum(u32),
+    /// Always complete over the survivor set: distributed arguments are
+    /// remapped onto the live threads blockwise.
+    Survivors,
+}
+
+impl DegradePolicy {
+    /// Whether an invocation may proceed with `live` of `total` threads.
+    pub fn allows(&self, live: usize, total: usize) -> bool {
+        match *self {
+            DegradePolicy::FailFast => live == total,
+            DegradePolicy::Quorum(k) => live == total || live >= k as usize,
+            DegradePolicy::Survivors => live > 0,
+        }
+    }
+}
+
 /// ORB configuration knobs.
 #[derive(Debug, Clone)]
 pub struct OrbOptions {
@@ -44,6 +76,9 @@ pub struct OrbOptions {
     /// on a lossless fabric; set it when frames can be dropped so a lost
     /// fragment degrades to an error reply instead of a hang.
     pub frag_timeout: Option<Duration>,
+    /// Server-side graceful-degradation policy applied when a computing
+    /// thread is confirmed dead mid-service.
+    pub degrade: DegradePolicy,
 }
 
 impl Default for OrbOptions {
@@ -53,6 +88,7 @@ impl Default for OrbOptions {
             translate: false,
             resolve_timeout: Duration::from_secs(30),
             frag_timeout: None,
+            degrade: DegradePolicy::FailFast,
         }
     }
 }
@@ -91,6 +127,20 @@ pub struct OrbCtx {
     /// Datagrams skipped by the serve loop because they failed to
     /// decode (corrupted in flight).
     pub(crate) serve_decode_errors: Cell<u64>,
+    /// Degradation policy applied after a confirmed thread death.
+    pub(crate) degrade: DegradePolicy,
+    /// Number of requests this thread's serve loop has begun serving —
+    /// the logical clock that scheduled `ThreadDeath` faults key on.
+    pub(crate) serve_step: Cell<u64>,
+    /// Object references this machine has published, by name: the comm
+    /// thread re-registers them under the new epoch after a membership
+    /// change so clients can rebind.
+    pub(crate) registered: RefCell<HashMap<String, ObjectRef>>,
+    /// `Some(survivor ranks)` once this machine serves degraded. Derived
+    /// from the *scheduled* death plan, never from the racy live
+    /// membership mask, so every surviving thread remaps distribution
+    /// templates identically without extra communication.
+    pub(crate) degraded_survivors: RefCell<Option<Vec<usize>>>,
 }
 
 impl OrbCtx {
@@ -150,6 +200,10 @@ impl OrbCtx {
             frag_timeout: opts.frag_timeout,
             last_serve_timing: Cell::new(InvokeTiming::default()),
             serve_decode_errors: Cell::new(0),
+            degrade: opts.degrade,
+            serve_step: Cell::new(0),
+            registered: RefCell::new(HashMap::new()),
+            degraded_survivors: RefCell::new(None),
         })
     }
 
@@ -238,7 +292,11 @@ impl OrbCtx {
             data_ports: self.data_port_ids.clone(),
             nthreads: self.nthreads() as u32,
             distributions,
+            epoch: self.rts.membership().epoch(),
         };
+        self.registered
+            .borrow_mut()
+            .insert(name.to_string(), objref.clone());
         if self.is_comm_thread() {
             self.naming.register(objref.clone());
         }
@@ -251,10 +309,77 @@ impl OrbCtx {
     /// Remove an object from this machine (collective).
     pub fn unregister(&self, name: &str) {
         self.servants.borrow_mut().remove(name);
+        self.registered.borrow_mut().remove(name);
         if self.is_comm_thread() {
             self.naming.unregister(name, self.host.id());
         }
         self.rts.barrier();
+    }
+
+    /// The degradation policy this ORB serves under.
+    pub fn degrade_policy(&self) -> DegradePolicy {
+        self.degrade
+    }
+
+    /// Current membership view of this machine's computing threads.
+    pub fn membership_view(&self) -> pardis_rts::MembershipView {
+        self.rts.membership().view()
+    }
+
+    /// The server-side layout actually in force for a request: identical
+    /// to the wire template on a healthy machine, remapped onto the
+    /// survivor set once the machine serves degraded. Dead threads own
+    /// zero elements, so the rank-ordered gather/scatter paths need no
+    /// other changes.
+    pub(crate) fn effective_server_templ(
+        &self,
+        templ: crate::dist::DistTempl,
+    ) -> PardisResult<crate::dist::DistTempl> {
+        let surv = self.degraded_survivors.borrow();
+        match surv.as_deref() {
+            None => Ok(templ),
+            Some(survivors) => {
+                #[cfg(feature = "analyze")]
+                {
+                    // PA104: a deliberately skewed (Proportions) layout
+                    // cannot be honored by the blockwise remap — the
+                    // degraded invocation silently loses the registered
+                    // proportions.
+                    let uniform = crate::dist::DistTempl::block(templ.len(), templ.nthreads());
+                    if templ.counts() != uniform.counts() {
+                        crate::analyze::record(
+                            "PA104",
+                            format!(
+                                "degraded remap of a non-uniform template {:?} onto \
+                                 survivors {survivors:?} discards the registered \
+                                 proportions",
+                                templ.counts()
+                            ),
+                        );
+                    }
+                }
+                templ.remap_onto(survivors)
+            }
+        }
+    }
+
+    /// Re-publish every object this machine registered, stamped with
+    /// the current membership epoch. Called by the comm thread after a
+    /// confirmed death so clients that received a membership-change
+    /// exception can rebind; epoch fencing on the client side makes a
+    /// stale (pre-death) reference unusable for rebinding.
+    pub(crate) fn republish_under_current_epoch(&self) {
+        if !self.is_comm_thread() {
+            return;
+        }
+        let epoch = self.rts.membership().epoch();
+        let mut reg = self.registered.borrow_mut();
+        for objref in reg.values_mut() {
+            if objref.epoch < epoch {
+                objref.epoch = epoch;
+                self.naming.register(objref.clone());
+            }
+        }
     }
 
     /// Ask the SPMD object behind `objref` to leave its serve loop.
@@ -262,7 +387,7 @@ impl OrbCtx {
     pub fn send_shutdown(&self, objref: &ObjectRef) -> PardisResult<()> {
         let msg = pardis_net::giop::GiopMessage::CloseConnection;
         self.host
-            .send_to(objref.host, objref.request_port, msg.encode(self.endian))?;
+            .send_to(objref.host, objref.request_port, msg.encode(self.endian)?)?;
         Ok(())
     }
 }

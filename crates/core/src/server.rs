@@ -295,7 +295,7 @@ impl OrbCtx {
                     };
                     let control_wire =
                         GiopMessage::Request(header.clone(), control.to_bytes(endian))
-                            .encode(endian);
+                            .encode(endian)?;
                     self.rts.broadcast(0, Some(control_wire))?;
                     Ok(Some(ServedPayload::new(
                         header,
@@ -332,6 +332,34 @@ impl OrbCtx {
         }
     }
 
+    /// Every scheduled `ThreadDeath` whose step has arrived by serve
+    /// step `step`, ascending and deduplicated. All ranks read the same
+    /// shared fault plan, so the result — and everything keyed on it
+    /// (the degradation verdict, the template remap) — is identical on
+    /// every thread with no extra communication. The live membership
+    /// mask is NOT used here: a rank racing ahead could have marked a
+    /// later death already, and basing the verdict on it would diverge.
+    ///
+    /// Rank 0 is the communicating thread; its death is machine death,
+    /// not degraded operation, so scheduled deaths of rank 0 are
+    /// ignored. With no fault plan installed this is one `RwLock` read
+    /// returning an empty schedule.
+    fn scheduled_dead_at(&self, step: u64) -> Vec<usize> {
+        let deaths = self.host.fabric().thread_deaths();
+        if deaths.is_empty() {
+            return Vec::new();
+        }
+        let mut dead: Vec<usize> = deaths
+            .iter()
+            .filter(|d| d.at_step <= step)
+            .map(|d| d.rank as usize)
+            .filter(|&r| r != 0 && r < self.nthreads())
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
     /// Process one relayed request. Returns `false` for shutdown.
     fn serve_payload(&self, p: ServedPayload) -> PardisResult<bool> {
         let ServedPayload {
@@ -344,6 +372,94 @@ impl OrbCtx {
             Some(h) => h,
             None => return Ok(false), // shutdown
         };
+
+        // Scheduled thread deaths fire immediately before serving the
+        // `at_step`-th request. The request above was already relayed to
+        // every thread, so all ranks reach this point for the same step
+        // and apply the same plan — rank death replays bit-for-bit.
+        let step = self.serve_step.get();
+        self.serve_step.set(step + 1);
+        let dead = self.scheduled_dead_at(step);
+        if !dead.is_empty() {
+            // Synchronize before the first mark: collectives reject a
+            // confirmed-dead caller at entry, so a rank racing ahead
+            // must not record the death while the dying rank is still
+            // inside the relay broadcast above. After this barrier the
+            // dying rank touches no further collective.
+            self.rts.barrier();
+            for &r in &dead {
+                // Idempotent: only the first application bumps the epoch.
+                self.rts.membership().mark_dead(r);
+                // Close the dead thread's data port before any reply can
+                // leave the machine, so a retrying client's port probe
+                // deterministically demotes the binding to the
+                // centralized method.
+                self.host
+                    .fabric()
+                    .kill_port(self.host.id(), self.data_port_ids[r]);
+            }
+            // Republish under the bumped epoch so clients holding a
+            // membership-change exception can rebind past the epoch
+            // fence.
+            self.republish_under_current_epoch();
+            if dead.contains(&self.rank()) {
+                // This thread is dead: leave the serve loop without
+                // touching the survivors' collectives.
+                return Ok(false);
+            }
+            let live = self.nthreads() - dead.len();
+            let refuse = !self.degrade.allows(live, self.nthreads());
+            // Multi-port fragments routed to a dead thread's port are
+            // lost, so this invocation cannot complete in either policy;
+            // the retry (port probe) arrives centralized.
+            let frags_lost = header.mode == TransferMode::MultiPort;
+            if refuse || frags_lost {
+                if self.is_comm_thread() && header.response_expected {
+                    let v = self.rts.membership().view();
+                    let status = if refuse {
+                        ReplyStatus::MembershipChange {
+                            epoch: v.epoch,
+                            dead: v
+                                .dead(self.nthreads())
+                                .into_iter()
+                                .map(|r| r as u32)
+                                .collect(),
+                            survivors: v
+                                .survivors(self.nthreads())
+                                .into_iter()
+                                .map(|r| r as u32)
+                                .collect(),
+                        }
+                    } else {
+                        ReplyStatus::SystemException(
+                            "communication failure: data port closed by thread death; retry".into(),
+                        )
+                    };
+                    let empty = crate::request::ReplyBody {
+                        nondist: Bytes::new(),
+                        dist_out: vec![],
+                    };
+                    let reply = GiopMessage::Reply(
+                        ReplyHeader {
+                            request_id: header.request_id,
+                            status,
+                        },
+                        empty.to_bytes(endian),
+                    );
+                    self.host.send_to(
+                        header.reply_host,
+                        header.reply_port,
+                        reply.encode(endian)?,
+                    )?;
+                }
+                return Ok(true);
+            }
+            // Survivors (or a met quorum): serve degraded from here on.
+            self.degraded_survivors.replace(Some(
+                (0..self.nthreads()).filter(|r| !dead.contains(r)).collect(),
+            ));
+        }
+
         let mut timing = InvokeTiming::default();
         let t0 = Instant::now();
 
@@ -463,7 +579,7 @@ impl OrbCtx {
                     self.host.send_to(
                         header.reply_host,
                         header.reply_port,
-                        reply.encode(endian),
+                        reply.encode(endian)?,
                     )?;
                 }
             } else {

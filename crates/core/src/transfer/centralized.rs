@@ -146,7 +146,7 @@ pub(crate) fn client_recv(
         timing.recv_unpack += tr.elapsed();
         if proxy.collective {
             let wire = GiopMessage::Reply(header.clone(), stripped.to_bytes(ctx.endian))
-                .encode(ctx.endian);
+                .encode(ctx.endian)?;
             ctx.rts.broadcast(0, Some(wire))?;
         }
         control = (header, stripped);
@@ -260,6 +260,9 @@ pub(crate) fn server_receive_args(
                 ctx.nthreads()
             )));
         }
+        // Degraded machine: remap onto the survivor set (dead threads
+        // own zero elements); identical on every rank by construction.
+        let server_templ = ctx.effective_server_templ(server_templ)?;
         let local = if meta.dir.sends() {
             let ts = Instant::now();
             let chunks = match &inline {
@@ -338,7 +341,7 @@ pub(crate) fn server_send_reply(
         );
         let ts = Instant::now();
         ctx.host
-            .send_to(header.reply_host, header.reply_port, reply.encode(endian))?;
+            .send_to(header.reply_host, header.reply_port, reply.encode(endian)?)?;
         timing.send += ts.elapsed();
     }
     Ok(())

@@ -48,6 +48,15 @@ pub(crate) fn status_to_result(status: &ReplyStatus) -> PardisResult<()> {
                 Err(PardisError::SystemException(msg.clone()))
             }
         }
+        ReplyStatus::MembershipChange {
+            epoch,
+            dead,
+            survivors,
+        } => Err(PardisError::MembershipChange {
+            epoch: *epoch,
+            dead: dead.clone(),
+            survivors: survivors.clone(),
+        }),
     }
 }
 

@@ -113,7 +113,7 @@ pub(crate) fn client_send(
                 ctx.data_port.port(),
                 proxy.objref.host,
                 proxy.objref.data_ports[dst],
-                msg.encode(ctx.endian),
+                msg.encode(ctx.endian)?,
             )?;
             pending.timing.send += ts.elapsed();
         }
@@ -164,7 +164,7 @@ pub(crate) fn client_recv(
         };
         timing.recv_unpack += tr.elapsed();
         if proxy.collective {
-            let wire = GiopMessage::Reply(header.clone(), body_bytes.clone()).encode(ctx.endian);
+            let wire = GiopMessage::Reply(header.clone(), body_bytes.clone()).encode(ctx.endian)?;
             ctx.rts.broadcast(0, Some(wire))?;
         }
         control = (header, body);
@@ -294,7 +294,7 @@ pub(crate) fn server_send_reply(
         );
         let ts = Instant::now();
         ctx.host
-            .send_to(header.reply_host, header.reply_port, reply.encode(endian))?;
+            .send_to(header.reply_host, header.reply_port, reply.encode(endian)?)?;
         timing.send += ts.elapsed();
     }
 
@@ -335,7 +335,7 @@ pub(crate) fn server_send_reply(
                 ctx.data_port.port(),
                 client_host,
                 client_ports[dst],
-                msg.encode(endian),
+                msg.encode(endian)?,
             )?;
             timing.send += ts.elapsed();
         }

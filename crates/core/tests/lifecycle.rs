@@ -106,6 +106,7 @@ fn unregister_then_rebind_times_out() {
             data_ports: vec![],
             nthreads: 1,
             distributions: vec![],
+            epoch: 0,
         })
         .unwrap();
     });

@@ -14,6 +14,10 @@
 //! | PA005 | warning  | `oneway` op with a distributed arg not `idempotent` |
 //! | PA006 | warning  | one op's dsequence args carry divergent templates |
 //! | PA007 | warning  | unrecognized `#pragma pardis` directive |
+//! | PA104 | warning  | degraded-mode policy discards a fixed `proportions` template |
+//!
+//! (PA104 shares its code with the runtime finding recorded by the ORB
+//! when the remap actually happens; this is the static half.)
 //!
 //! Suppression: per-file `#pragma pardis allow PA004,PA005`, or the
 //! `--allow` flag of `pardis-idlc --analyze` ([`LintOptions::allow`]).
@@ -53,7 +57,34 @@ pub fn all_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(OnewayDistNotIdempotent),
         Box::new(DivergentArgTemplates),
         Box::new(UnknownPardisPragma),
+        Box::new(DegradedFixedProportions),
     ]
+}
+
+/// Declared degradation policy (`#pragma pardis degrade ...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DegradeDecl {
+    FailFast,
+    Survivors,
+    Quorum(u64),
+}
+
+impl DegradeDecl {
+    /// Whether the policy keeps serving on a degraded machine (where
+    /// every template is remapped blockwise onto the survivors).
+    fn serves_degraded(self) -> bool {
+        !matches!(self, DegradeDecl::FailFast)
+    }
+}
+
+impl std::fmt::Display for DegradeDecl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeDecl::FailFast => write!(f, "failfast"),
+            DegradeDecl::Survivors => write!(f, "survivors"),
+            DegradeDecl::Quorum(k) => write!(f, "quorum {k}"),
+        }
+    }
 }
 
 /// Run every (non-suppressed) pass over `model`; findings come back
@@ -93,6 +124,8 @@ pub struct LintCtx<'m> {
     model: &'m Model,
     /// Thread count from `#pragma pardis threads N`, if declared.
     declared_threads: Option<u64>,
+    /// Degradation policy from `#pragma pardis degrade ...`, if declared.
+    declared_degrade: Option<DegradeDecl>,
     /// Codes allowed via `#pragma pardis allow ...`.
     allowed: Vec<String>,
     /// `pardis` pragmas that did not parse (pos, text).
@@ -106,6 +139,7 @@ impl<'m> LintCtx<'m> {
         let mut ctx = LintCtx {
             model,
             declared_threads: None,
+            declared_degrade: None,
             allowed: Vec::new(),
             bad_pragmas: Vec::new(),
             sites: Vec::new(),
@@ -125,6 +159,12 @@ impl<'m> LintCtx<'m> {
             match words.as_slice() {
                 ["threads", n] => match n.parse::<u64>() {
                     Ok(n) if n > 0 => self.declared_threads = Some(n),
+                    _ => self.bad_pragmas.push((p.pos, p.text.clone())),
+                },
+                ["degrade", "failfast"] => self.declared_degrade = Some(DegradeDecl::FailFast),
+                ["degrade", "survivors"] => self.declared_degrade = Some(DegradeDecl::Survivors),
+                ["degrade", "quorum", k] => match k.parse::<u64>() {
+                    Ok(k) if k > 0 => self.declared_degrade = Some(DegradeDecl::Quorum(k)),
                     _ => self.bad_pragmas.push((p.pos, p.text.clone())),
                 },
                 ["allow", codes] => {
@@ -485,9 +525,59 @@ impl LintPass for UnknownPardisPragma {
                 *pos,
                 format!(
                     "unrecognized directive `#pragma {text}`; expected \
-                     `pardis threads N` or `pardis allow PAxxx[,PAxxx...]`"
+                     `pardis threads N`, `pardis degrade failfast|survivors|quorum N`, \
+                     or `pardis allow PAxxx[,PAxxx...]`"
                 ),
             ));
+        }
+    }
+}
+
+/// PA104: a skewed `proportions` template fixes a per-thread layout,
+/// but a `survivors`/`quorum` degradation policy keeps serving after a
+/// thread death by remapping every template *blockwise* onto the
+/// survivor set — the declared proportions are silently discarded in
+/// degraded mode. The runtime records the same code when the remap
+/// actually happens; this pass flags the combination at `--analyze`
+/// time, before any thread has died.
+struct DegradedFixedProportions;
+impl LintPass for DegradedFixedProportions {
+    fn code(&self) -> &'static str {
+        "PA104"
+    }
+    fn summary(&self) -> &'static str {
+        "degraded-mode policy discards a fixed proportions template"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        let Some(policy) = ctx.declared_degrade else {
+            return;
+        };
+        if !policy.serves_degraded() {
+            return;
+        }
+        for s in &ctx.sites {
+            if let Some(DistAnnot::Proportions(ws)) = &s.annot {
+                // Uniform weights already equal the blockwise remap
+                // (PA004's territory); all-zero weights are PA001's.
+                let skewed = ws.iter().any(|&w| w > 0) && ws.iter().any(|&w| w != ws[0]);
+                if skewed {
+                    out.push(finding(
+                        self,
+                        ctx,
+                        s.pos,
+                        format!(
+                            "{}: `proportions` fixes a per-thread layout, but `#pragma pardis \
+                             degrade {policy}` remaps templates blockwise onto the survivors \
+                             after a thread death; the declared proportions are discarded in \
+                             degraded mode",
+                            s.desc
+                        ),
+                    ));
+                }
+            }
         }
     }
 }
@@ -596,6 +686,51 @@ mod tests {
     }
 
     #[test]
+    fn pa104_degraded_fixed_proportions() {
+        let d = lint_src(
+            "#pragma pardis degrade survivors\n\
+             typedef dsequence<double, 64, proportions<3, 1>> skew;",
+        );
+        assert_eq!(codes(&d), vec!["PA104"]);
+        assert!(!d.has_errors());
+        // Quorum also serves degraded.
+        let d = lint_src(
+            "#pragma pardis degrade quorum 2\n\
+             typedef dsequence<double, 64, proportions<3, 1>> skew;",
+        );
+        assert_eq!(codes(&d), vec!["PA104"]);
+        // failfast never remaps — refused invocations keep their layout.
+        let d = lint_src(
+            "#pragma pardis degrade failfast\n\
+             typedef dsequence<double, 64, proportions<3, 1>> skew;",
+        );
+        assert!(d.is_empty(), "{d}");
+        // Without a declared policy the layout is never remapped here.
+        let d = lint_src("typedef dsequence<double, 64, proportions<3, 1>> skew;");
+        assert!(d.is_empty(), "{d}");
+        // Uniform weights equal the blockwise remap: PA004, not PA104.
+        let d = lint_src(
+            "#pragma pardis degrade survivors\n\
+             typedef dsequence<double, 64, proportions<2, 2>> eq;",
+        );
+        assert_eq!(codes(&d), vec!["PA004"]);
+    }
+
+    #[test]
+    fn degrade_pragma_parses_and_rejects_garbage() {
+        // All three policies parse cleanly.
+        for p in ["failfast", "survivors", "quorum 3"] {
+            let d = lint_src(&format!("#pragma pardis degrade {p}\n typedef long x;"));
+            assert!(d.is_empty(), "degrade {p}: {d}");
+        }
+        // Bad arguments fall through to PA007.
+        let d = lint_src("#pragma pardis degrade quorum 0\n typedef long x;");
+        assert_eq!(codes(&d), vec!["PA007"]);
+        let d = lint_src("#pragma pardis degrade sometimes\n typedef long x;");
+        assert_eq!(codes(&d), vec!["PA007"]);
+    }
+
+    #[test]
     fn suppression_via_pragma_and_options() {
         let src = "typedef dsequence<double, 1024, block> b;";
         let suppressed = lint_src(&format!("#pragma pardis allow PA004\n{src}"));
@@ -636,7 +771,7 @@ mod tests {
         let codes: Vec<&str> = passes.iter().map(|p| p.code()).collect();
         assert_eq!(
             codes,
-            vec!["PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007"]
+            vec!["PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007", "PA104"]
         );
         for p in &passes {
             assert!(!p.summary().is_empty());

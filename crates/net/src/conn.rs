@@ -59,7 +59,7 @@ impl Connection {
             self.local.port(),
             self.peer_host,
             self.peer_port,
-            msg.encode(endian),
+            msg.encode(endian)?,
         )
     }
 
@@ -114,7 +114,7 @@ pub fn reply_to(
             "peer did not advertise a reply port".into(),
         ));
     }
-    host.send_to(src_host, src_port, msg.encode(endian))
+    host.send_to(src_host, src_port, msg.encode(endian)?)
 }
 
 #[cfg(test)]

@@ -269,6 +269,19 @@ impl Fabric {
         self.inner.faults.read().as_ref().map(|f| f.stats())
     }
 
+    /// Scheduled permanent thread deaths of the installed fault plan
+    /// (empty when no plan is installed). Every rank of a machine reads
+    /// the same schedule, which is what makes rank death replay
+    /// deterministically: all ranks apply it at the same serve step.
+    pub fn thread_deaths(&self) -> Vec<crate::fault::ThreadDeath> {
+        self.inner
+            .faults
+            .read()
+            .as_ref()
+            .map(|f| f.plan().thread_deaths().to_vec())
+            .unwrap_or_default()
+    }
+
     /// Administratively kill a port: its receiver unblocks with
     /// `PortClosed`, queued datagrams are lost, and future senders get
     /// `PortClosed` instead of `UnknownPort`.
@@ -320,9 +333,13 @@ impl Host {
         self.id
     }
 
-    /// This host's name.
+    /// This host's name. A `Host` can only be minted by
+    /// [`Fabric::add_host`], so the entry always exists; the fallback is
+    /// for defensive completeness rather than a reachable path.
     pub fn name(&self) -> String {
-        self.fabric.host_name(self.id).expect("own host exists")
+        self.fabric
+            .host_name(self.id)
+            .unwrap_or_else(|| format!("host-{}", self.id.0))
     }
 
     /// The fabric this host belongs to.
@@ -348,7 +365,9 @@ impl Host {
     /// Close a port (drops the sender side; queued datagrams are lost).
     pub fn close_port(&self, port: PortId) {
         let mut hosts = self.fabric.inner.hosts.write();
-        hosts[self.id.0 as usize].ports.remove(&port);
+        if let Some(entry) = hosts.get_mut(self.id.0 as usize) {
+            entry.ports.remove(&port);
+        }
     }
 
     /// Send from an anonymous source port.

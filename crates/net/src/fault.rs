@@ -30,6 +30,30 @@ use std::time::Duration;
 /// Probability scale: decisions are expressed per million events.
 pub const PER_MILLION: u32 = 1_000_000;
 
+/// A scheduled, *permanent* computing-thread death: rank `rank` of the
+/// machine observing the plan dies immediately before serving its
+/// `at_step`-th request (0-based). Distinct from the transient
+/// dead-port fault: a dead port loses datagrams while the thread keeps
+/// running, whereas a thread death removes the rank from the SPMD
+/// membership for good — the ORB layer promotes it to confirmed-dead,
+/// bumps the membership epoch, and (policy permitting) keeps serving
+/// over the survivors.
+///
+/// Scheduling deaths by logical serve step rather than wall clock is
+/// what makes chaos runs replay bit-for-bit: every rank of the victim
+/// machine reads the same plan and applies the death at the same
+/// logical point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadDeath {
+    /// Rank of the computing thread that dies. Rank 0 (the
+    /// communicating thread) must not be scheduled — its death is
+    /// machine death, not degraded operation.
+    pub rank: u32,
+    /// 0-based index of the served request immediately before which the
+    /// death takes effect.
+    pub at_step: u64,
+}
+
 const SALT_DROP: u64 = 0xD509;
 const SALT_CORRUPT: u64 = 0xC0DE;
 const SALT_SPIKE: u64 = 0x5111;
@@ -52,6 +76,9 @@ pub struct FaultPlan {
     reset_after_frames: Option<u64>,
     /// Ports killed the moment the plan is installed.
     dead_ports: Vec<(HostId, PortId)>,
+    /// Scheduled permanent thread deaths, applied by the serving ORB at
+    /// the given logical steps.
+    thread_deaths: Vec<ThreadDeath>,
 }
 
 impl FaultPlan {
@@ -65,6 +92,7 @@ impl FaultPlan {
             spike: Duration::ZERO,
             reset_after_frames: None,
             dead_ports: Vec::new(),
+            thread_deaths: Vec::new(),
         }
     }
 
@@ -112,6 +140,20 @@ impl FaultPlan {
 
     pub(crate) fn dead_ports(&self) -> &[(HostId, PortId)] {
         &self.dead_ports
+    }
+
+    /// Schedule a permanent thread death: `rank` dies immediately
+    /// before the machine serves its `at_step`-th request (0-based).
+    /// Rank 0 schedules are ignored by the ORB (communicating-thread
+    /// death is machine death).
+    pub fn with_thread_death(mut self, rank: u32, at_step: u64) -> FaultPlan {
+        self.thread_deaths.push(ThreadDeath { rank, at_step });
+        self
+    }
+
+    /// The scheduled thread deaths, in insertion order.
+    pub fn thread_deaths(&self) -> &[ThreadDeath] {
+        &self.thread_deaths
     }
 }
 
@@ -177,6 +219,10 @@ impl FaultState {
             flows: Mutex::new(HashMap::new()),
             stats: StatCells::default(),
         }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     pub(crate) fn stats(&self) -> FaultStats {

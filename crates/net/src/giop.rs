@@ -139,6 +139,18 @@ pub enum ReplyStatus {
     UserException(String),
     /// The ORB or servant failed; human-readable reason.
     SystemException(String),
+    /// The server's SPMD membership changed while the request was in
+    /// flight and its degradation policy refused to complete it. Carries
+    /// the new membership epoch plus the dead and surviving server
+    /// ranks so the client can rebind (or give up) with full knowledge.
+    MembershipChange {
+        /// Membership epoch after the change.
+        epoch: u64,
+        /// Server ranks confirmed dead, ascending.
+        dead: Vec<u32>,
+        /// Server ranks still alive, ascending.
+        survivors: Vec<u32>,
+    },
 }
 
 impl Encode for ReplyStatus {
@@ -153,6 +165,22 @@ impl Encode for ReplyStatus {
                 w.put_u32(2);
                 w.put_string(msg);
             }
+            ReplyStatus::MembershipChange {
+                epoch,
+                dead,
+                survivors,
+            } => {
+                w.put_u32(3);
+                w.put_u64(*epoch);
+                w.put_u32(dead.len() as u32);
+                for &r in dead {
+                    w.put_u32(r);
+                }
+                w.put_u32(survivors.len() as u32);
+                for &r in survivors {
+                    w.put_u32(r);
+                }
+            }
         }
         Ok(())
     }
@@ -164,6 +192,23 @@ impl Decode for ReplyStatus {
             0 => Ok(ReplyStatus::NoException),
             1 => Ok(ReplyStatus::UserException(r.get_string()?)),
             2 => Ok(ReplyStatus::SystemException(r.get_string()?)),
+            3 => {
+                let epoch = r.get_u64()?;
+                let take_ranks = |r: &mut CdrReader<'_>| -> CdrResult<Vec<u32>> {
+                    let n = r.get_u32()? as usize;
+                    if n > r.remaining() {
+                        return Err(pardis_cdr::CdrError::LengthOverflow(n as u64));
+                    }
+                    (0..n).map(|_| r.get_u32()).collect()
+                };
+                let dead = take_ranks(r)?;
+                let survivors = take_ranks(r)?;
+                Ok(ReplyStatus::MembershipChange {
+                    epoch,
+                    dead,
+                    survivors,
+                })
+            }
             other => Err(pardis_cdr::CdrError::BadDiscriminant {
                 type_name: "ReplyStatus",
                 value: other,
@@ -273,7 +318,9 @@ impl GiopMessage {
 
     /// Encode the message (header in `endian`, body appended verbatim —
     /// bodies are themselves CDR streams in the same byte order).
-    pub fn encode(&self, endian: Endian) -> Bytes {
+    /// Header encoding is infallible today; the `Result` keeps the
+    /// library path panic-free if a fallible header field is ever added.
+    pub fn encode(&self, endian: Endian) -> NetResult<Bytes> {
         let mut w = CdrWriter::with_capacity(endian, 64);
         w.put_bytes(&MAGIC);
         w.put_u8(VERSION);
@@ -282,26 +329,26 @@ impl GiopMessage {
         w.put_u8(0); // reserved
         match self {
             GiopMessage::Request(h, body) => {
-                h.encode(&mut w).expect("header encode cannot fail");
+                h.encode(&mut w)?;
                 w.put_u32(body.len() as u32);
                 w.align(8); // bodies start 8-aligned so f64 slices copy cleanly
                 w.put_bytes(body);
             }
             GiopMessage::Reply(h, body) => {
-                h.encode(&mut w).expect("header encode cannot fail");
+                h.encode(&mut w)?;
                 w.put_u32(body.len() as u32);
                 w.align(8);
                 w.put_bytes(body);
             }
             GiopMessage::DataTransfer(h, body) => {
-                h.encode(&mut w).expect("header encode cannot fail");
+                h.encode(&mut w)?;
                 w.put_u32(body.len() as u32);
                 w.align(8);
                 w.put_bytes(body);
             }
             GiopMessage::CloseConnection => {}
         }
-        w.into_shared()
+        Ok(w.into_shared())
     }
 
     /// Decode a message from the wire.
@@ -379,7 +426,7 @@ mod tests {
     fn request_roundtrip_both_endians() {
         for endian in [Endian::Big, Endian::Little] {
             let msg = GiopMessage::Request(sample_request(), Bytes::from_static(b"body-bytes"));
-            let wire = msg.encode(endian);
+            let wire = msg.encode(endian).unwrap();
             assert_eq!(&wire[0..4], b"PARD");
             let back = GiopMessage::decode(&wire).unwrap();
             assert_eq!(back, msg);
@@ -393,6 +440,16 @@ mod tests {
             ReplyStatus::NoException,
             ReplyStatus::UserException("overflow".into()),
             ReplyStatus::SystemException("object not found".into()),
+            ReplyStatus::MembershipChange {
+                epoch: 3,
+                dead: vec![1, 4],
+                survivors: vec![0, 2, 3],
+            },
+            ReplyStatus::MembershipChange {
+                epoch: 1,
+                dead: vec![],
+                survivors: vec![],
+            },
         ] {
             let msg = GiopMessage::Reply(
                 ReplyHeader {
@@ -401,7 +458,7 @@ mod tests {
                 },
                 Bytes::from_static(&[1, 2, 3]),
             );
-            let wire = msg.encode(Endian::native());
+            let wire = msg.encode(Endian::native()).unwrap();
             assert_eq!(GiopMessage::decode(&wire).unwrap(), msg);
         }
     }
@@ -420,14 +477,16 @@ mod tests {
             },
             Bytes::from(vec![0u8; 4096]),
         );
-        let wire = msg.encode(Endian::native());
+        let wire = msg.encode(Endian::native()).unwrap();
         let back = GiopMessage::decode(&wire).unwrap();
         assert_eq!(back, msg);
     }
 
     #[test]
     fn close_connection_roundtrip() {
-        let wire = GiopMessage::CloseConnection.encode(Endian::native());
+        let wire = GiopMessage::CloseConnection
+            .encode(Endian::native())
+            .unwrap();
         assert_eq!(
             GiopMessage::decode(&wire).unwrap(),
             GiopMessage::CloseConnection
@@ -439,7 +498,7 @@ mod tests {
         // The body slice must begin at an 8-aligned stream offset so that
         // f64 payloads decode without copying regardless of header size.
         let msg = GiopMessage::Request(sample_request(), Bytes::from_static(b"x"));
-        let wire = msg.encode(Endian::native());
+        let wire = msg.encode(Endian::native()).unwrap();
         // Find the body: it is the final 1 byte.
         let body_off = wire.len() - 1;
         assert_eq!(body_off % 8, 0);
@@ -451,6 +510,7 @@ mod tests {
         assert!(GiopMessage::decode(&Bytes::from_static(b"PAR")).is_err());
         let mut wire = GiopMessage::CloseConnection
             .encode(Endian::native())
+            .unwrap()
             .to_vec();
         wire[4] = 99; // bad version
         assert!(GiopMessage::decode(&Bytes::from(wire)).is_err());
@@ -465,7 +525,7 @@ mod tests {
             },
             Bytes::from(vec![7u8; 100]),
         );
-        let wire = msg.encode(Endian::native());
+        let wire = msg.encode(Endian::native()).unwrap();
         let cut = wire.slice(0..wire.len() - 10);
         assert!(GiopMessage::decode(&cut).is_err());
     }

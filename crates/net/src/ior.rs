@@ -127,6 +127,12 @@ pub struct ObjectRef {
     /// Distribution templates registered before the object was
     /// registered with the naming service.
     pub distributions: Vec<OpArgDist>,
+    /// Membership epoch of the server domain when this reference was
+    /// published. A reference re-registered after a rank death carries a
+    /// higher epoch; clients rebind only to a strictly newer epoch
+    /// (epoch fencing — a stale re-resolve can never roll a binding
+    /// back onto dead data ports).
+    pub epoch: u64,
 }
 
 impl ObjectRef {
@@ -158,7 +164,9 @@ impl Encode for ObjectRef {
             w.put_u32(p);
         }
         w.put_u32(self.nthreads);
-        self.distributions.encode(w)
+        self.distributions.encode(w)?;
+        w.put_u64(self.epoch);
+        Ok(())
     }
 }
 
@@ -178,6 +186,7 @@ impl Decode for ObjectRef {
         }
         let nthreads = r.get_u32()?;
         let distributions = Vec::<OpArgDist>::decode(r)?;
+        let epoch = r.get_u64()?;
         Ok(ObjectRef {
             name,
             type_id,
@@ -186,6 +195,7 @@ impl Decode for ObjectRef {
             data_ports,
             nthreads,
             distributions,
+            epoch,
         })
     }
 }
@@ -208,6 +218,7 @@ mod tests {
                 arg_index: 1,
                 dist: DistSpec::Proportions(vec![2, 4, 2, 4]),
             }],
+            epoch: 2,
         }
     }
 

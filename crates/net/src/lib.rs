@@ -32,7 +32,7 @@ pub mod link;
 
 pub use error::{NetError, NetResult};
 pub use fabric::{Fabric, Host, HostId, PortId, PortRecv};
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{FaultPlan, FaultStats, ThreadDeath};
 pub use ior::{DistSpec, ObjectRef};
 pub use link::{Link, LinkSpec, LinkStats};
 

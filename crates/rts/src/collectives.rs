@@ -34,6 +34,17 @@ mod tags {
     pub const ALLGATHER: Tag = RESERVED_TAG_BASE + 4;
     pub const REDUCE: Tag = RESERVED_TAG_BASE + 5;
     pub const ALLTOALL: Tag = RESERVED_TAG_BASE + 6;
+    /// Survivor-barrier token (live rank -> rank 0).
+    pub const MBAR_IN: Tag = RESERVED_TAG_BASE + 7;
+    /// Survivor-barrier release (rank 0 -> live ranks).
+    pub const MBAR_OUT: Tag = RESERVED_TAG_BASE + 8;
+}
+
+/// Whether `rank` is alive under `dead` (the membership bitmask).
+/// Ranks beyond the mask width are untracked and treated as alive.
+#[inline]
+fn live(dead: u64, rank: usize) -> bool {
+    rank >= 64 || dead & (1u64 << rank) == 0
 }
 
 impl Endpoint {
@@ -46,11 +57,13 @@ impl Endpoint {
                 size: self.size(),
             });
         }
+        let dead = self.dead_mask();
+        self.check_participants(dead, root)?;
         if self.rank() == root {
             let data =
                 data.ok_or_else(|| RtsError::Internal("root must supply broadcast data".into()))?;
             for to in 0..self.size() {
-                if to != root {
+                if to != root && live(dead, to) {
                     self.send_internal(to, tags::BCAST, data.clone())?;
                 }
             }
@@ -69,20 +82,28 @@ impl Endpoint {
                 size: self.size(),
             });
         }
+        let dead = self.dead_mask();
+        self.check_participants(dead, root)?;
         if self.rank() == root {
+            // Dead ranks contribute an empty chunk; stale messages they
+            // sent before dying are discarded, not counted.
             let mut chunks: Vec<Option<Bytes>> = vec![None; self.size()];
             chunks[root] = Some(bytes);
-            for _ in 0..self.size() - 1 {
+            let mut remaining = (0..self.size())
+                .filter(|&r| r != root && live(dead, r))
+                .count();
+            while remaining > 0 {
                 let m = self.recv_any_internal(tags::GATHER)?;
+                if !live(dead, m.from) {
+                    continue;
+                }
+                if chunks[m.from].is_none() {
+                    remaining -= 1;
+                }
                 chunks[m.from] = Some(m.payload);
             }
             Ok(Some(
-                chunks
-                    .into_iter()
-                    .map(|c| {
-                        c.ok_or_else(|| RtsError::Internal("gather missed a rank's chunk".into()))
-                    })
-                    .collect::<RtsResult<Vec<Bytes>>>()?,
+                chunks.into_iter().map(Option::unwrap_or_default).collect(),
             ))
         } else {
             self.send_internal(root, tags::GATHER, bytes)?;
@@ -118,6 +139,8 @@ impl Endpoint {
                 size: self.size(),
             });
         }
+        let dead = self.dead_mask();
+        self.check_participants(dead, root)?;
         if self.rank() == root {
             let chunks = chunks
                 .ok_or_else(|| RtsError::Internal("root must supply scatter chunks".into()))?;
@@ -131,7 +154,7 @@ impl Endpoint {
             for (to, chunk) in chunks.into_iter().enumerate() {
                 if to == root {
                     mine = Some(chunk);
-                } else {
+                } else if live(dead, to) {
                     self.send_internal(to, tags::SCATTER, chunk)?;
                 }
             }
@@ -186,11 +209,16 @@ impl Endpoint {
     pub fn allgather_bytes(&self, bytes: Bytes) -> RtsResult<Vec<Bytes>> {
         let gathered = self.gather_bytes(0, bytes)?;
         // Rank 0 re-broadcasts each chunk; cheap for the metadata-sized
-        // payloads this is used for (object references, lengths).
+        // payloads this is used for (object references, lengths). Dead
+        // ranks' chunks come back empty from the gather.
+        let dead = self.dead_mask();
         if self.rank() == 0 {
             let chunks = gathered
                 .ok_or_else(|| RtsError::Internal("rank 0 missing its gathered chunks".into()))?;
             for to in 1..self.size() {
+                if !live(dead, to) {
+                    continue;
+                }
                 for chunk in &chunks {
                     self.send_internal(to, tags::ALLGATHER, chunk.clone())?;
                 }
@@ -212,8 +240,11 @@ impl Endpoint {
         Ok(chunks
             .iter()
             .map(|c| {
+                // A confirmed-dead rank's slot is an empty chunk;
+                // decode it as 0 rather than slicing past its end.
                 let mut a = [0u8; 8];
-                a.copy_from_slice(&c[..8]);
+                let n = c.len().min(8);
+                a[..n].copy_from_slice(&c[..n]);
                 u64::from_le_bytes(a)
             })
             .collect())
@@ -222,11 +253,18 @@ impl Endpoint {
     /// Element-wise reduction of `local` across all ranks; every rank
     /// receives the result (reduce-to-root then broadcast).
     pub fn allreduce_f64(&self, local: &[f64], op: ReduceOp) -> RtsResult<Vec<f64>> {
-        // Reduce at rank 0.
+        let dead = self.dead_mask();
+        self.check_participants(dead, 0)?;
+        // Reduce at rank 0 over the live contributions.
         let reduced = if self.rank() == 0 {
             let mut acc = local.to_vec();
-            for _ in 0..self.size() - 1 {
+            let mut remaining = (1..self.size()).filter(|&r| live(dead, r)).count();
+            while remaining > 0 {
                 let m = self.recv_any_internal(tags::REDUCE)?;
+                if !live(dead, m.from) {
+                    continue;
+                }
+                remaining -= 1;
                 let mut incoming = Vec::with_capacity(m.payload.len() / 8);
                 bytes_to_f64(&m.payload, &mut incoming);
                 if incoming.len() != acc.len() {
@@ -267,22 +305,81 @@ impl Endpoint {
                 got: outgoing.len(),
             });
         }
+        let dead = self.dead_mask();
+        if !live(dead, self.rank()) {
+            return Err(RtsError::DeadRank { rank: self.rank() });
+        }
         let mut incoming: Vec<Option<Bytes>> = vec![None; self.size()];
         for (to, chunk) in outgoing.into_iter().enumerate() {
             if to == self.rank() {
                 incoming[to] = Some(chunk);
-            } else {
+            } else if live(dead, to) {
                 self.send_internal(to, tags::ALLTOALL, chunk)?;
             }
         }
-        for _ in 0..self.size() - 1 {
+        let mut remaining = (0..self.size())
+            .filter(|&r| r != self.rank() && live(dead, r))
+            .count();
+        while remaining > 0 {
             let m = self.recv_any_internal(tags::ALLTOALL)?;
+            if !live(dead, m.from) {
+                continue;
+            }
+            if incoming[m.from].is_none() {
+                remaining -= 1;
+            }
             incoming[m.from] = Some(m.payload);
         }
-        incoming
+        Ok(incoming
             .into_iter()
-            .map(|c| c.ok_or_else(|| RtsError::Internal("alltoall missed a rank's chunk".into())))
-            .collect()
+            .map(Option::unwrap_or_default)
+            .collect())
+    }
+
+    /// Reject collectives that cannot make progress under `dead`: a
+    /// confirmed-dead caller, or a confirmed-dead root (survivors would
+    /// block forever on its relay). With `dead == 0` this is two
+    /// comparisons — the zero-overhead healthy path.
+    fn check_participants(&self, dead: u64, root: usize) -> RtsResult<()> {
+        if dead == 0 {
+            return Ok(());
+        }
+        if !live(dead, self.rank()) {
+            return Err(RtsError::DeadRank { rank: self.rank() });
+        }
+        if !live(dead, root) {
+            return Err(RtsError::DeadRank { rank: root });
+        }
+        Ok(())
+    }
+
+    /// Software barrier over the survivor set, relayed through rank 0:
+    /// each live rank sends a token to rank 0, which releases everyone
+    /// once all tokens are in. Replaces the `std::sync::Barrier` (whose
+    /// count includes the dead) as soon as the membership records a
+    /// death.
+    pub(crate) fn survivor_barrier(&self, dead: u64) -> RtsResult<()> {
+        if !live(dead, self.rank()) {
+            return Err(RtsError::DeadRank { rank: self.rank() });
+        }
+        if self.rank() == 0 {
+            let mut remaining = (1..self.size()).filter(|&r| live(dead, r)).count();
+            while remaining > 0 {
+                let m = self.recv_any_internal(tags::MBAR_IN)?;
+                if live(dead, m.from) {
+                    remaining -= 1;
+                }
+            }
+            for to in 1..self.size() {
+                if live(dead, to) {
+                    self.send_internal(to, tags::MBAR_OUT, Bytes::new())?;
+                }
+            }
+        } else {
+            self.send_internal(0, tags::MBAR_IN, Bytes::new())?;
+            self.recv_internal(0, tags::MBAR_OUT)?;
+        }
+        Ok(())
     }
 
     // Internal recv helpers that bypass the user-tag check (collective
@@ -434,6 +531,101 @@ mod tests {
         for r in results {
             assert!(matches!(r, Err(RtsError::BadCounts { .. })));
         }
+    }
+
+    #[test]
+    fn degraded_collectives_complete_over_survivors() {
+        // Confirm rank 3 dead; the three survivors must complete every
+        // collective kind without blocking on it.
+        let results = Domain::run(4, |ep| {
+            ep.barrier();
+            ep.membership().mark_dead(3);
+            if ep.rank() == 3 {
+                return None;
+            }
+            let gathered = ep.gather_f64(0, &[ep.rank() as f64]).unwrap();
+            if ep.rank() == 0 {
+                // The dead rank's slot is present but empty.
+                assert_eq!(gathered.unwrap(), vec![0.0, 1.0, 2.0]);
+            }
+            let live_sum = ep.allreduce_scalar(1.0, ReduceOp::Sum).unwrap();
+            ep.barrier();
+            let chunks = (ep.rank() == 0).then(|| {
+                (0..4)
+                    .map(|r| Bytes::from(vec![r as u8 * 10]))
+                    .collect::<Vec<_>>()
+            });
+            let mine = ep.scatterv_bytes(0, chunks).unwrap();
+            let everyone = ep.allgather_u64(ep.rank() as u64 + 100).unwrap();
+            ep.barrier();
+            Some((
+                live_sum,
+                mine[0],
+                everyone,
+                ep.membership().epoch(),
+                ep.membership().survivors(),
+            ))
+        });
+        assert!(results[3].is_none());
+        for (rank, r) in results.iter().enumerate().take(3) {
+            let (sum, scattered, all, epoch, survivors) = r.clone().unwrap();
+            assert_eq!(sum, 3.0, "three live contributions");
+            assert_eq!(scattered, rank as u8 * 10);
+            // Dead rank's allgather slot decodes as 0 (empty chunk is
+            // padded by the caller; here the raw u64 slot).
+            assert_eq!(all[..3], [100, 101, 102]);
+            assert_eq!(epoch, 1);
+            assert_eq!(survivors, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn dead_rank_participation_is_rejected() {
+        Domain::run(2, |ep| {
+            ep.membership().mark_dead(1);
+            if ep.rank() == 1 {
+                assert!(matches!(
+                    ep.allreduce_scalar(0.0, ReduceOp::Sum),
+                    Err(RtsError::DeadRank { rank: 1 })
+                ));
+                assert!(matches!(
+                    ep.broadcast(1, Some(Bytes::new())),
+                    Err(RtsError::DeadRank { rank: 1 })
+                ));
+            } else {
+                // A dead *root* is rejected too — survivors would block
+                // forever on its relay.
+                assert!(matches!(
+                    ep.broadcast(1, None),
+                    Err(RtsError::DeadRank { rank: 1 })
+                ));
+                // Rank 0 alone is the whole survivor set.
+                assert_eq!(ep.allreduce_scalar(7.0, ReduceOp::Sum).unwrap(), 7.0);
+            }
+        });
+    }
+
+    #[test]
+    fn survivor_barrier_synchronizes_repeatedly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        Domain::run(4, move |ep| {
+            ep.barrier();
+            ep.membership().mark_dead(2);
+            if ep.rank() == 2 {
+                return;
+            }
+            for round in 1..=10usize {
+                c2.fetch_add(1, Ordering::SeqCst);
+                ep.barrier();
+                // All three survivor increments of this round visible.
+                assert_eq!(c2.load(Ordering::SeqCst), round * 3);
+                ep.barrier();
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 30);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! in-process message-passing world.
 
 use crate::endpoint::{Endpoint, Message};
+use crate::membership::Membership;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
@@ -33,10 +34,19 @@ impl Domain {
             receivers.push(rx);
         }
         let barrier = Arc::new(Barrier::new(n));
+        let membership = Arc::new(Membership::new(n));
         receivers
             .into_iter()
             .enumerate()
-            .map(|(rank, inbox)| Endpoint::new(rank, senders.clone(), inbox, barrier.clone()))
+            .map(|(rank, inbox)| {
+                Endpoint::new(
+                    rank,
+                    senders.clone(),
+                    inbox,
+                    barrier.clone(),
+                    membership.clone(),
+                )
+            })
             .collect()
     }
 

@@ -7,6 +7,7 @@
 //! to exactly one thread.
 
 use crate::error::{RtsError, RtsResult};
+use crate::membership::Membership;
 use crate::Tag;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
@@ -36,8 +37,12 @@ pub struct Endpoint {
     /// Messages received but not yet matched by a `recv` call
     /// (out-of-order arrivals under (source, tag) matching).
     pending: RefCell<VecDeque<Message>>,
-    /// Domain-wide barrier.
+    /// Domain-wide barrier (used only while every rank is alive).
     barrier: Arc<Barrier>,
+    /// Domain-shared membership record: which ranks are confirmed dead,
+    /// versioned by epoch. Mask 0 — the healthy case — keeps every code
+    /// path identical to the membership-free runtime.
+    membership: Arc<Membership>,
     /// Collective sequence number for the consistency verifier: counts
     /// how many [`crate::verify`] agreements this rank has entered.
     #[cfg(feature = "analyze")]
@@ -50,6 +55,7 @@ impl Endpoint {
         peers: Vec<Sender<Message>>,
         inbox: Receiver<Message>,
         barrier: Arc<Barrier>,
+        membership: Arc<Membership>,
     ) -> Endpoint {
         Endpoint {
             rank,
@@ -57,6 +63,7 @@ impl Endpoint {
             inbox,
             pending: RefCell::new(VecDeque::new()),
             barrier,
+            membership,
             #[cfg(feature = "analyze")]
             verify_seq: std::cell::Cell::new(0),
         }
@@ -187,9 +194,40 @@ impl Endpoint {
         }
     }
 
-    /// Block until every rank in the domain reaches the barrier.
+    /// The domain's membership record (dead mask + epoch).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Snapshot of the confirmed-dead bitmask; 0 on a healthy domain.
+    #[inline]
+    pub fn dead_mask(&self) -> u64 {
+        self.membership.dead_mask()
+    }
+
+    /// Whether `rank` is confirmed dead in the domain membership.
+    pub fn is_rank_dead(&self, rank: usize) -> bool {
+        self.membership.is_dead(rank)
+    }
+
+    /// Block until every *live* rank in the domain reaches the barrier.
+    ///
+    /// While every rank is alive this is the plain `std` barrier. Once
+    /// the membership records a death, the `Arc<Barrier>` (whose count
+    /// includes the dead) would wait forever, so the domain switches to
+    /// a software survivor barrier relayed through rank 0 — rank 0 is
+    /// assumed alive (its death is machine death at the layer above).
     pub fn barrier(&self) {
-        self.barrier.wait();
+        let dead = self.membership.dead_mask();
+        if dead == 0 {
+            self.barrier.wait();
+        } else {
+            // A disconnect here means a peer exited without a recorded
+            // death — teardown, not degraded operation. Returning is
+            // the least-harm option; collectives after it will report
+            // the disconnect as a typed error.
+            let _ = self.survivor_barrier(dead);
+        }
     }
 }
 

@@ -29,6 +29,11 @@ pub enum RtsError {
         mine: String,
         theirs: String,
     },
+    /// A collective was asked to involve a rank the domain membership
+    /// has confirmed dead — either the caller itself (it must stop
+    /// participating) or the collective's root (survivors would block
+    /// forever on its relay).
+    DeadRank { rank: usize },
     /// An internal invariant failed (a bug in the RTS or its caller,
     /// surfaced as an error instead of a panic on library paths).
     Internal(String),
@@ -62,6 +67,12 @@ impl fmt::Display for RtsError {
                     "collective mismatch: thread {thread} issued {theirs} while this \
                      thread issued {mine}; an SPMD invocation must be called by all \
                      computing threads in the same order"
+                )
+            }
+            RtsError::DeadRank { rank } => {
+                write!(
+                    f,
+                    "rank {rank} has been confirmed dead by the domain membership"
                 )
             }
             RtsError::Internal(msg) => write!(f, "internal runtime error: {msg}"),

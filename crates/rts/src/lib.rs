@@ -50,6 +50,7 @@ pub mod endpoint;
 pub mod error;
 #[cfg(feature = "analyze")]
 pub mod lockgraph;
+pub mod membership;
 pub mod reduce;
 pub mod rma;
 pub mod traits;
@@ -59,6 +60,7 @@ pub mod verify;
 pub use domain::Domain;
 pub use endpoint::{Endpoint, Message};
 pub use error::{RtsError, RtsResult};
+pub use membership::{Liveness, Membership, MembershipView, PhiDetector};
 pub use reduce::ReduceOp;
 pub use rma::Window;
 pub use traits::RtsComm;

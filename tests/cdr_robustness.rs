@@ -34,7 +34,9 @@ fn sample_request(endian: Endian) -> Bytes {
         client_threads: 4,
         client_data_ports: vec![5, 6, 7, 8],
     };
-    GiopMessage::Request(header, body.to_bytes(endian)).encode(endian)
+    GiopMessage::Request(header, body.to_bytes(endian))
+        .encode(endian)
+        .unwrap()
 }
 
 fn sample_reply(endian: Endian) -> Bytes {
@@ -50,6 +52,7 @@ fn sample_reply(endian: Endian) -> Bytes {
         body.to_bytes(endian),
     )
     .encode(endian)
+    .unwrap()
 }
 
 fn sample_transfer(endian: Endian) -> Bytes {
@@ -66,6 +69,7 @@ fn sample_transfer(endian: Endian) -> Bytes {
         Bytes::from(vec![0x5A; 64]),
     )
     .encode(endian)
+    .unwrap()
 }
 
 /// Try the full decode pipeline on one buffer: frame decode, then the

@@ -250,3 +250,283 @@ fn different_seed_schedules_different_chaos() {
         "two seeds produced identical fault schedules"
     );
 }
+
+// ---------------------------------------------------------------------
+// Thread-death chaos: a scheduled `ThreadDeath` fault kills one server
+// computing thread immediately before it serves its `at_step`-th
+// request. The degradation policy decides what happens to the
+// invocations that follow: `Survivors` remaps the distributed argument
+// onto the remaining threads and completes them, `FailFast` refuses
+// them with a typed `MembershipChange`. Either way the whole run is a
+// pure function of the seeded plan and must replay bit-for-bit.
+// ---------------------------------------------------------------------
+
+const D_SERVER_THREADS: usize = 4;
+const D_INVOCATIONS: usize = 8;
+/// Server serve-step at which rank [`DYING_RANK`] dies.
+const DEATH_STEP: u64 = 3;
+const DYING_RANK: u32 = 2;
+
+/// What one invocation resolved to, compared across replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    /// Bit pattern of the returned sum.
+    Sum(u64),
+    /// Typed refusal from a degraded server under `FailFast`/`Quorum`.
+    Membership {
+        epoch: u64,
+        dead: Vec<u32>,
+        survivors: Vec<u32>,
+    },
+    /// Client-side fast-fail: the circuit breaker was open.
+    CircuitOpen(u32),
+    Other(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct DeathReport {
+    outcomes: Vec<Outcome>,
+    retries: u64,
+    fallbacks: u64,
+    /// Epoch observed by `Proxy::rebind`, when the run exercises it.
+    rebound_epoch: Option<u64>,
+}
+
+/// One thread-death run: a 4-thread server whose rank 2 dies at serve
+/// step [`DEATH_STEP`], under `policy`, invoked `D_INVOCATIONS` times
+/// by a 2-thread client using `mode`. With `breaker`, the client arms a
+/// per-binding circuit breaker and, once it opens, rebinds past the
+/// epoch fence and tries once more.
+fn run_death_chaos(
+    seed: u64,
+    policy: DegradePolicy,
+    mode: TransferMode,
+    breaker: Option<u32>,
+) -> Vec<DeathReport> {
+    let world = World::new(LinkSpec::unlimited());
+
+    let server_opts = OrbOptions {
+        degrade: policy,
+        frag_timeout: Some(std::time::Duration::from_millis(80)),
+        ..Default::default()
+    };
+    let server = world.spawn_machine_with("server", D_SERVER_THREADS, server_opts, move |ctx| {
+        // The death schedule must be installed before the first request
+        // is served; clients bind only after `register` publishes the
+        // reference, so this install is ordered before any invocation.
+        if ctx.is_comm_thread() {
+            ctx.host()
+                .fabric()
+                .install_faults(FaultPlan::new(seed).with_thread_death(DYING_RANK, DEATH_STEP));
+        }
+        ctx.rts().barrier();
+        ctx.register("victim", Box::new(SumServant), vec![])
+            .unwrap();
+        // The dying rank's serve loop exits early (like shutdown); the
+        // survivors keep serving until the client shuts the machine down.
+        ctx.serve_forever().unwrap();
+    });
+
+    let client = world.spawn_machine("client", CLIENT_THREADS, move |ctx| {
+        let mut proxy = ctx
+            .spmd_bind("victim", Some("server"), Some(OBJ_TYPE))
+            .unwrap();
+        proxy.set_mode(mode).unwrap();
+        if mode == TransferMode::MultiPort {
+            // The invocation in flight when the death fires loses its
+            // fragments; the retry probes the dead data port and demotes
+            // to centralized transfer.
+            proxy.set_retry(RetryPolicy {
+                max_attempts: 4,
+                base_backoff: std::time::Duration::from_millis(2),
+                ..RetryPolicy::default()
+            });
+        }
+        proxy.set_deadline(Some(std::time::Duration::from_secs(2)));
+        if let Some(threshold) = breaker {
+            proxy.set_circuit_breaker(threshold);
+        }
+
+        let invoke_once = |proxy: &Proxy, i: usize| -> Outcome {
+            let mut seq = DSequence::<f64>::new(ctx.rts(), LEN, None).unwrap();
+            let off = seq.local_range().start;
+            for (j, x) in seq.local_data_mut().iter_mut().enumerate() {
+                *x = i as f64 + (off + j) as f64 * 0.25;
+            }
+            let mut spec = RequestSpec::simple("sum").idempotent();
+            spec.dist_args = vec![proxy.dist_arg("sum", 0, ArgDir::In, &seq).unwrap()];
+            match proxy.invoke(&ctx, spec) {
+                Ok(reply) => {
+                    let mut r = CdrReader::new(&reply.nondist_body, ctx.endian());
+                    Outcome::Sum(f64::decode(&mut r).unwrap().to_bits())
+                }
+                Err(PardisError::MembershipChange {
+                    epoch,
+                    dead,
+                    survivors,
+                }) => Outcome::Membership {
+                    epoch,
+                    dead,
+                    survivors,
+                },
+                Err(PardisError::CircuitOpen { failures }) => Outcome::CircuitOpen(failures),
+                Err(e) => Outcome::Other(e.to_string()),
+            }
+        };
+
+        let mut outcomes: Vec<Outcome> =
+            (0..D_INVOCATIONS).map(|i| invoke_once(&proxy, i)).collect();
+
+        // Once the breaker has opened, rebind past the epoch fence (the
+        // survivors republished the reference under the bumped epoch)
+        // and prove the binding is live again: the next refusal is the
+        // typed MembershipChange, not CircuitOpen.
+        let rebound_epoch = if breaker.is_some() {
+            let epoch = proxy.rebind(&ctx).unwrap();
+            outcomes.push(invoke_once(&proxy, D_INVOCATIONS));
+            Some(epoch)
+        } else {
+            None
+        };
+
+        ctx.rts().barrier();
+        if ctx.is_comm_thread() {
+            ctx.send_shutdown(proxy.objref()).unwrap();
+        }
+        DeathReport {
+            outcomes,
+            retries: proxy.retry_count(),
+            fallbacks: proxy.fallback_count(),
+            rebound_epoch,
+        }
+    });
+
+    let reports = client.join();
+    server.join();
+    reports
+}
+
+/// Expected sum for invocation `i` (unchanged by degradation: the
+/// survivor remap still covers every element exactly once).
+fn expected_sum(i: usize) -> u64 {
+    (LEN as f64 * i as f64 + 0.25 * (LEN * (LEN - 1) / 2) as f64).to_bits()
+}
+
+#[test]
+fn thread_death_survivors_completes_degraded() {
+    let r1 = run_death_chaos(
+        SEED,
+        DegradePolicy::Survivors,
+        TransferMode::Centralized,
+        None,
+    );
+    let r2 = run_death_chaos(
+        SEED,
+        DegradePolicy::Survivors,
+        TransferMode::Centralized,
+        None,
+    );
+    assert_eq!(r1, r2, "survivor-mode run diverged between replays");
+
+    for r in &r1 {
+        // Every invocation — including those served after rank 2 died —
+        // completed with the full sum: the remapped template still
+        // covers the whole sequence.
+        let want: Vec<Outcome> = (0..D_INVOCATIONS)
+            .map(|i| Outcome::Sum(expected_sum(i)))
+            .collect();
+        assert_eq!(r.outcomes, want);
+        assert_eq!(r.retries, 0, "centralized survivor mode needed no retry");
+        assert_eq!(r.fallbacks, 0);
+    }
+}
+
+#[test]
+fn thread_death_failfast_returns_typed_membership_change() {
+    let threshold = 2u32;
+    let r1 = run_death_chaos(
+        SEED,
+        DegradePolicy::FailFast,
+        TransferMode::Centralized,
+        Some(threshold),
+    );
+    let r2 = run_death_chaos(
+        SEED,
+        DegradePolicy::FailFast,
+        TransferMode::Centralized,
+        Some(threshold),
+    );
+    assert_eq!(r1, r2, "fail-fast run diverged between replays");
+
+    let refusal = Outcome::Membership {
+        epoch: 1,
+        dead: vec![DYING_RANK],
+        survivors: (0..D_SERVER_THREADS as u32)
+            .filter(|&r| r != DYING_RANK)
+            .collect(),
+    };
+    for r in &r1 {
+        assert_eq!(r.outcomes.len(), D_INVOCATIONS + 1);
+        for (i, o) in r.outcomes.iter().enumerate() {
+            let want = if i < DEATH_STEP as usize {
+                // Healthy machine: full sums.
+                Outcome::Sum(expected_sum(i))
+            } else if i < (DEATH_STEP + threshold as u64) as usize {
+                // Degraded machine, fail-fast policy: typed refusal
+                // naming the epoch, the dead, and the survivors.
+                refusal.clone()
+            } else if i < D_INVOCATIONS {
+                // Breaker open: fast-fail without touching the wire.
+                Outcome::CircuitOpen(threshold)
+            } else {
+                // After rebind: breaker reset, refusal is typed again.
+                refusal.clone()
+            };
+            assert_eq!(o, &want, "invocation {i}");
+        }
+        // The rebind crossed the epoch fence to the republished ref.
+        assert_eq!(r.rebound_epoch, Some(1));
+        assert_eq!(r.retries, 0, "MembershipChange must not be retried");
+    }
+}
+
+#[test]
+fn thread_death_multiport_demotes_and_completes() {
+    let r1 = run_death_chaos(
+        SEED,
+        DegradePolicy::Survivors,
+        TransferMode::MultiPort,
+        None,
+    );
+    let r2 = run_death_chaos(
+        SEED,
+        DegradePolicy::Survivors,
+        TransferMode::MultiPort,
+        None,
+    );
+    assert_eq!(r1, r2, "multi-port death run diverged between replays");
+
+    for r in &r1 {
+        // The death costs the in-flight multi-port invocation its
+        // fragments; the retry demotes to centralized transfer and every
+        // invocation still completes with the full sum.
+        let want: Vec<Outcome> = (0..D_INVOCATIONS)
+            .map(|i| Outcome::Sum(expected_sum(i)))
+            .collect();
+        assert_eq!(r.outcomes, want);
+        assert!(r.retries >= 1, "the death-step invocation must retry");
+        // Every post-death invocation probed the dead data port and fell
+        // back to centralized transfer.
+        assert!(
+            r.fallbacks >= (D_INVOCATIONS as u64).saturating_sub(DEATH_STEP + 1),
+            "only {} fallbacks recorded",
+            r.fallbacks
+        );
+    }
+    // Collective agreement across client threads.
+    for r in &r1 {
+        assert_eq!(r.outcomes, r1[0].outcomes);
+        assert_eq!(r.retries, r1[0].retries);
+        assert_eq!(r.fallbacks, r1[0].fallbacks);
+    }
+}

@@ -228,7 +228,7 @@ proptest! {
             client_data_ports: ports,
         };
         let msg = GiopMessage::Request(h, Bytes::from(vec![1, 2, 3]));
-        let wire = msg.encode(endian);
+        let wire = msg.encode(endian).unwrap();
         prop_assert_eq!(GiopMessage::decode(&wire).unwrap(), msg);
     }
 
@@ -323,6 +323,74 @@ proptest! {
             assert_eq!(s.to_global(ep).unwrap(), want);
             // Back to blockwise: layout equals a freshly built template.
             assert_eq!(s.templ().counts(), DistTempl::block(len, n).counts());
+        });
+    }
+
+    #[test]
+    fn redistribute_onto_preserves_values(
+        len in 1usize..300,
+        threads in 2usize..5,
+        survivor_bits in any::<u32>(),
+    ) {
+        // Evacuating onto any non-empty survivor subset preserves every
+        // value and the total length; the excluded threads end up
+        // owning nothing.
+        Domain::run(threads, move |ep| { let ep = &ep;
+            let n = ep.size();
+            let mut survivors: Vec<usize> =
+                (0..n).filter(|&r| (survivor_bits >> r) & 1 == 1).collect();
+            if survivors.is_empty() {
+                survivors.push(0);
+            }
+            let mut s = DSequence::<f64>::new(ep, len, None).unwrap();
+            let off = s.local_range().start;
+            for (i, x) in s.local_data_mut().iter_mut().enumerate() {
+                *x = (off + i) as f64 * 1.5;
+            }
+            let want: Vec<f64> = (0..len).map(|i| i as f64 * 1.5).collect();
+            s.redistribute_onto(ep, &survivors).unwrap();
+            assert_eq!(s.len(), len);
+            assert_eq!(s.to_global(ep).unwrap(), want);
+            for r in (0..n).filter(|r| !survivors.contains(r)) {
+                assert_eq!(s.templ().count(r), 0, "excluded rank {r} still owns data");
+            }
+        });
+    }
+
+    #[test]
+    fn redistribute_onto_then_shrink_discards_exactly_the_tail(
+        len in 2usize..200,
+        threads in 2usize..5,
+        survivor_bits in any::<u32>(),
+        keep_num in 1usize..200,
+    ) {
+        // Evacuation composes with the paper's length semantics: a
+        // shrink after `redistribute_onto` discards exactly the tail,
+        // and the prefix keeps the evacuated values.
+        Domain::run(threads, move |ep| { let ep = &ep;
+            let n = ep.size();
+            let mut survivors: Vec<usize> =
+                (0..n).filter(|&r| (survivor_bits >> r) & 1 == 1).collect();
+            if survivors.is_empty() {
+                survivors.push(n - 1);
+            }
+            let keep = keep_num.min(len - 1);
+            let mut s = DSequence::<f64>::new(ep, len, None).unwrap();
+            let off = s.local_range().start;
+            for (i, x) in s.local_data_mut().iter_mut().enumerate() {
+                *x = (off + i) as f64 - 7.0;
+            }
+            s.redistribute_onto(ep, &survivors).unwrap();
+            s.set_len(ep, keep).unwrap();
+            let g = s.to_global(ep).unwrap();
+            assert_eq!(g.len(), keep);
+            for (i, &x) in g.iter().enumerate() {
+                assert_eq!(x, i as f64 - 7.0);
+            }
+            // The shrunken layout still starves the evacuated ranks.
+            for r in (0..n).filter(|r| !survivors.contains(r)) {
+                assert_eq!(s.templ().count(r), 0);
+            }
         });
     }
 
