@@ -15,12 +15,17 @@
 //!    of which must fail with a typed
 //!    [`pardis_core::PardisError::CollectiveMismatch`] (finding PA101)
 //!    instead of deadlocking.
-//! 3. **Lock-order deadlock graph** ([`lockcheck`]) — the
-//!    [`pardis_rts::lockgraph`] acquisition-order cycle detector
-//!    (finding PA102).
+//! 3. **Wait-for-graph deadlock detection** ([`lockcheck`]) — the
+//!    [`pardis_rts::lockgraph`] cycle detector over lock *and*
+//!    pending-collective nodes (findings PA102 and PA203).
+//! 4. **Happens-before race replay** ([`racecheck`]) — seeded SPMD
+//!    programs whose mid-flight buffer accesses and unfenced one-sided
+//!    writes must be reported by [`pardis_core::race`] (findings PA201
+//!    and PA202), bit-for-bit identically across replays of one seed.
 //!
-//! The `pardis-analyze` binary drives all three; see `--help`.
+//! The `pardis-analyze` binary drives all four; see `--help`.
 
 pub mod idl;
 pub mod lockcheck;
+pub mod racecheck;
 pub mod scenarios;

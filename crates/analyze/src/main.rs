@@ -1,7 +1,7 @@
 //! The `pardis-analyze` driver: runs the static lint pass over an IDL
 //! corpus and drives the runtime verification passes on the testbed.
 
-use pardis_analyze::{idl, lockcheck, scenarios};
+use pardis_analyze::{idl, lockcheck, racecheck, scenarios};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -12,14 +12,18 @@ USAGE:
     pardis-analyze [COMMAND] [ARGS]
 
 COMMANDS:
-    all                 run every pass (default): corpus, clean, runtime, lockcheck
+    all                 run every pass (default): corpus, clean, runtime,
+                        lockcheck, race
     lint <paths...>     lint .idl files or directories, print findings
     corpus [DIR]        check the seeded defect corpus against .expect files
                         (default: tests/analyze_corpus)
     clean [DIR...]      assert zero findings on known-good IDL
                         (default: examples/idl)
     runtime             run the divergent SPMD scenarios on the testbed
-    lockcheck           build the lock acquisition-order graph, report cycles
+    lockcheck           build the wait-for graph (locks + pending
+                        collectives), report PA102/PA203 cycles
+    race [SEED]         replay the seeded race scenarios (PA201/PA202),
+                        print JSON findings (default seed: 0x5EED)
 
 EXIT CODES:
     0  everything as expected
@@ -124,10 +128,10 @@ fn cmd_clean(dirs: &[PathBuf]) -> Result<bool, String> {
 
 /// `runtime`: divergent scenarios must fail with CollectiveMismatch,
 /// the uniform control must pass.
-fn cmd_runtime() -> bool {
+fn cmd_runtime() -> Result<bool, String> {
     let mut ok = true;
     for s in scenarios::Scenario::all() {
-        let outcomes = scenarios::run(s);
+        let outcomes = scenarios::run(s)?;
         let problems = scenarios::check(s, &outcomes);
         if problems.is_empty() {
             let verdict = if s.is_divergent() {
@@ -146,44 +150,98 @@ fn cmd_runtime() -> bool {
             }
         }
     }
-    ok
+    Ok(ok)
 }
 
-/// `lockcheck`: the real RTS workload must be cycle-free, the seeded
-/// inversion must be caught.
+/// `lockcheck`: the real RTS workload must be cycle-free, both seeded
+/// inversions (lock/lock and lock/collective) must be caught and
+/// classified.
 fn cmd_lockcheck() -> Result<bool, String> {
     let mut ok = true;
     let report = lockcheck::check_rts_locks()?;
     println!(
-        "lockcheck: RTS RMA workload: {} class(es), {} nested edge(s) observed",
+        "lockcheck: RTS RMA workload: {} node(s), {} wait-for edge(s) observed",
         report.classes.len(),
         report.edges.len()
     );
     for c in &report.classes {
-        println!("  class {c}");
+        println!("  node {c}");
     }
     for (a, b) in &report.edges {
         println!("  edge {a} -> {b}");
     }
     if report.cycles.is_empty() {
-        println!("lockcheck: RTS acquisition order: ok — no cycles");
+        println!("lockcheck: RTS wait-for order: ok — no cycles");
     } else {
         ok = false;
         for c in &report.cycles {
-            println!("lockcheck: PA102: lock-order cycle: {}", c.join(" -> "));
+            println!(
+                "lockcheck: {}: wait-for cycle: {}",
+                lockcheck::cycle_code(c),
+                lockcheck::cycle_path(c)
+            );
         }
     }
     let seeded = lockcheck::seeded_inversion();
-    if seeded.is_empty() {
-        ok = false;
-        println!("lockcheck: FAIL: seeded inversion was not detected");
-    } else {
-        println!(
-            "lockcheck: seeded inversion detected as expected: {}",
-            seeded[0].join(" -> ")
-        );
+    match seeded.first() {
+        Some(c) if lockcheck::cycle_code(c) == "PA102" => {
+            println!(
+                "lockcheck: seeded lock inversion detected as expected (PA102): {}",
+                lockcheck::cycle_path(c)
+            );
+        }
+        _ => {
+            ok = false;
+            println!("lockcheck: FAIL: seeded lock inversion was not detected as PA102");
+        }
+    }
+    let mixed = lockcheck::seeded_collective_inversion();
+    match mixed.cycles.first() {
+        Some(c) if lockcheck::cycle_code(c) == "PA203" && mixed.lock_only.is_empty() => {
+            println!(
+                "lockcheck: seeded lock/collective inversion detected as expected \
+                 (PA203): {} — invisible to the lock-only graph ({} cycle(s))",
+                lockcheck::cycle_path(c),
+                mixed.lock_only.len()
+            );
+        }
+        _ => {
+            ok = false;
+            println!(
+                "lockcheck: FAIL: seeded lock/collective inversion was not detected \
+                 as PA203 (cycles: {:?}, lock-only: {:?})",
+                mixed.cycles, mixed.lock_only
+            );
+        }
     }
     Ok(ok)
+}
+
+/// `race`: the seeded racy run must be flagged (PA201) and replay
+/// bit-for-bit, the clean run must be silent, the unfenced window
+/// program must be flagged (PA202). Findings print as JSON.
+fn cmd_race(seed: u64) -> Result<bool, String> {
+    let report = racecheck::check(seed)?;
+    println!(
+        "race: seed {:#x}: racy run produced {} finding(s), replay {}",
+        report.seed,
+        report.racy.len(),
+        if report.racy == report.replay {
+            "identical (bit-for-bit)".to_string()
+        } else {
+            format!("DIVERGED ({} finding(s))", report.replay.len())
+        }
+    );
+    println!(
+        "race: clean run produced {} finding(s); window run produced {}",
+        report.clean.len(),
+        report.window.len()
+    );
+    let mut findings = report.racy.clone();
+    findings.extend(report.clean.iter().cloned());
+    findings.extend(report.window.iter().cloned());
+    println!("{}", racecheck::to_json(&findings));
+    Ok(report.ok())
 }
 
 fn run() -> Result<bool, String> {
@@ -211,14 +269,26 @@ fn run() -> Result<bool, String> {
             };
             cmd_clean(&dirs)
         }
-        "runtime" => Ok(cmd_runtime()),
+        "runtime" => cmd_runtime(),
         "lockcheck" => cmd_lockcheck(),
+        "race" => {
+            let seed = match args.get(1) {
+                Some(s) => {
+                    let digits = s.trim_start_matches("0x");
+                    u64::from_str_radix(digits, if digits == s { 10 } else { 16 })
+                        .map_err(|_| format!("race: bad seed `{s}`"))?
+                }
+                None => 0x5EED,
+            };
+            cmd_race(seed)
+        }
         "all" => {
             let corpus = cmd_corpus(&root.join("tests/analyze_corpus"))?;
             let clean = cmd_clean(&[root.join("examples/idl")])?;
-            let runtime = cmd_runtime();
+            let runtime = cmd_runtime()?;
             let locks = cmd_lockcheck()?;
-            Ok(corpus && clean && runtime && locks)
+            let race = cmd_race(0x5EED)?;
+            Ok(corpus && clean && runtime && locks && race)
         }
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }

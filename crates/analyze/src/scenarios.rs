@@ -91,6 +91,7 @@ impl Scenario {
                 local: Bytes::new(),
                 client_templ: templ.clone(),
                 server_templ: templ,
+                buf_id: 0,
             }
         };
         match self {
@@ -122,37 +123,43 @@ impl Scenario {
 
 /// Run `scenario` with a 2-thread SPMD client and return what each
 /// client thread observed. Divergent scenarios return promptly — the
-/// whole point is that they *don't* deadlock.
-pub fn run(scenario: Scenario) -> Vec<ThreadOutcome> {
+/// whole point is that they *don't* deadlock. `Err` means the testbed
+/// itself failed (bind, serve loop, shutdown), not the scenario.
+pub fn run(scenario: Scenario) -> Result<Vec<ThreadOutcome>, String> {
     let world = World::new(LinkSpec::unlimited());
-    let server = world.spawn_machine("server", 2, |ctx| {
+    let server = world.spawn_machine("server", 2, |ctx| -> Result<(), String> {
         ctx.register("victim", Box::new(Victim), vec![])
-            .expect("register victim servant");
-        ctx.serve_forever().expect("victim serve loop");
+            .map_err(|e| format!("register victim servant: {e}"))?;
+        ctx.serve_forever()
+            .map_err(|e| format!("victim serve loop: {e}"))
     });
     let client = world.spawn_machine("client", 2, move |ctx| {
-        let proxy = ctx
-            .spmd_bind("victim", None, Some(VICTIM_TYPE))
-            .expect("spmd_bind victim");
-        let result = proxy
-            .invoke(&ctx, scenario.spec_for(ctx.rank()))
-            .map(|_| ());
+        let rank = ctx.rank();
+        let proxy = match ctx.spmd_bind("victim", None, Some(VICTIM_TYPE)) {
+            Ok(p) => p,
+            Err(e) => {
+                return Err(format!("rank {rank}: spmd_bind victim: {e}"));
+            }
+        };
+        let result = proxy.invoke(&ctx, scenario.spec_for(rank)).map(|_| ());
         // Divergent-order threads disagree again on any further
         // collective, so re-synchronize over the raw RTS before
         // shutting the server down.
         ctx.rts().barrier();
         if ctx.is_comm_thread() {
-            ctx.send_shutdown(proxy.objref()).expect("shutdown victim");
+            ctx.send_shutdown(proxy.objref())
+                .map_err(|e| format!("rank {rank}: shutdown victim: {e}"))?;
         }
-        ThreadOutcome {
-            rank: ctx.rank(),
-            result,
-        }
+        Ok(ThreadOutcome { rank, result })
     });
-    let mut outcomes = client.join();
-    server.join();
+    // Join the client first: if its threads failed before the shutdown
+    // was sent, surface that error instead of waiting on the server.
+    let mut outcomes = client.join().into_iter().collect::<Result<Vec<_>, _>>()?;
+    for r in server.join() {
+        r?;
+    }
     outcomes.sort_by_key(|o| o.rank);
-    outcomes
+    Ok(outcomes)
 }
 
 /// Check one scenario's outcomes against the contract: divergent runs

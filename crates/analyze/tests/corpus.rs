@@ -36,7 +36,7 @@ fn corpus_defects_are_flagged_exactly() {
         .flat_map(|r| r.actual.iter().map(|(c, _)| c.as_str()))
         .collect();
     for code in [
-        "PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007",
+        "PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007", "PA104", "PA205", "PA206",
     ] {
         assert!(seen.contains(&code), "no corpus seed exercises {code}");
     }

@@ -128,6 +128,7 @@ mod tests {
             local: Bytes::new(),
             client_templ: t.clone(),
             server_templ: t,
+            buf_id: 0,
         });
         s
     }

@@ -326,6 +326,8 @@ impl Proxy {
             local: T::to_native_bytes(seq.local_data()),
             client_templ: seq.templ().clone(),
             server_templ,
+            #[cfg(feature = "analyze")]
+            buf_id: seq.buf_id(),
         })
     }
 
@@ -348,6 +350,9 @@ impl Proxy {
             local: T::to_native_bytes(data),
             client_templ: DistTempl::from_counts(vec![data.len()]),
             server_templ,
+            // A plain slice has no tracked buffer identity.
+            #[cfg(feature = "analyze")]
+            buf_id: 0,
         })
     }
 
@@ -675,6 +680,10 @@ impl Proxy {
             (Ok(_), Some(e)) => Err(e),
             (Err(e), _) => Err(e),
         };
+        // The transfer is over (either way): close this request's
+        // access intervals so later buffer accesses are ordered.
+        #[cfg(feature = "analyze")]
+        crate::race::close_transfer(pending.req_id);
         if self.collective {
             // Exit barrier (§3.3 reads the send interleaving off the
             // time threads spend here). Taken on the error path too, so

@@ -122,13 +122,45 @@ impl Elem for u8 {
 }
 
 /// A distributed sequence as held by one computing thread.
-#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(not(feature = "analyze"), derive(Clone, PartialEq))]
+#[derive(Debug)]
 pub struct DSequence<T: Elem> {
     local: Vec<T>,
     templ: DistTempl,
     thread: usize,
     /// Optional IDL bound (`dsequence<double, 1024>`).
     bound: Option<usize>,
+    /// Identity of this local buffer for the race analyzer: a
+    /// per-thread creation counter, never an address, so seeded replays
+    /// assign identical ids.
+    #[cfg(feature = "analyze")]
+    buf_id: u64,
+}
+
+#[cfg(feature = "analyze")]
+impl<T: Elem> Clone for DSequence<T> {
+    fn clone(&self) -> Self {
+        DSequence {
+            local: self.local.clone(),
+            templ: self.templ.clone(),
+            thread: self.thread,
+            bound: self.bound,
+            // A clone owns fresh storage: accesses to it cannot race
+            // with transfers of the original.
+            buf_id: crate::race::new_buf_id(),
+        }
+    }
+}
+
+#[cfg(feature = "analyze")]
+impl<T: Elem + PartialEq> PartialEq for DSequence<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Buffer identity is analyzer metadata, not value.
+        self.local == other.local
+            && self.templ == other.templ
+            && self.thread == other.thread
+            && self.bound == other.bound
+    }
 }
 
 impl<T: Elem> DSequence<T> {
@@ -143,6 +175,8 @@ impl<T: Elem> DSequence<T> {
             templ,
             thread: rts.rank(),
             bound: None,
+            #[cfg(feature = "analyze")]
+            buf_id: crate::race::new_buf_id(),
         })
     }
 
@@ -158,6 +192,8 @@ impl<T: Elem> DSequence<T> {
             templ,
             thread: rts.rank(),
             bound: None,
+            #[cfg(feature = "analyze")]
+            buf_id: crate::race::new_buf_id(),
         })
     }
 
@@ -181,6 +217,8 @@ impl<T: Elem> DSequence<T> {
             templ,
             thread,
             bound: None,
+            #[cfg(feature = "analyze")]
+            buf_id: crate::race::new_buf_id(),
         })
     }
 
@@ -242,12 +280,26 @@ impl<T: Elem> DSequence<T> {
 
     /// Borrow the locally owned elements (`local_data()`).
     pub fn local_data(&self) -> &[T] {
+        #[cfg(feature = "analyze")]
+        crate::race::on_access(self.buf_id, crate::race::AccessKind::Read, "local_data");
         &self.local
     }
 
     /// Mutably borrow the locally owned elements.
     pub fn local_data_mut(&mut self) -> &mut [T] {
+        #[cfg(feature = "analyze")]
+        crate::race::on_access(
+            self.buf_id,
+            crate::race::AccessKind::Write,
+            "local_data_mut",
+        );
         &mut self.local
+    }
+
+    /// The buffer identity the race analyzer keys intervals on.
+    #[cfg(feature = "analyze")]
+    pub(crate) fn buf_id(&self) -> u64 {
+        self.buf_id
     }
 
     /// Give the local part back to the program's own memory management.
@@ -312,6 +364,8 @@ impl<T: Elem> DSequence<T> {
         if new_templ == self.templ {
             return Ok(());
         }
+        #[cfg(feature = "analyze")]
+        crate::race::on_access(self.buf_id, crate::race::AccessKind::Write, "redistribute");
         let my_off = self.templ.offset(self.thread);
         // Build one outgoing chunk per destination thread.
         let mut outgoing: Vec<Bytes> = vec![Bytes::new(); rts.size()];
@@ -386,6 +440,7 @@ impl DSequence<f64> {
             templ,
             thread,
             bound,
+            ..
         } = self;
         let win = pardis_rts::Window::create(rts, local)?;
         Ok(ExposedSeq {
@@ -427,9 +482,13 @@ impl ExposedSeq {
     /// `operator[]` backed by a one-sided get.
     pub fn get(&self, idx: usize) -> PardisResult<f64> {
         let (owner, local_idx) = self.templ.owner_of(idx)?;
-        self.win
+        let v = self
+            .win
             .get_one(owner, local_idx)
-            .map_err(PardisError::from)
+            .map_err(PardisError::from)?;
+        #[cfg(feature = "analyze")]
+        crate::race::on_window_access(self.win.id(), owner, local_idx, 1, false);
+        Ok(v)
     }
 
     /// **Non-collective** element write.
@@ -437,7 +496,10 @@ impl ExposedSeq {
         let (owner, local_idx) = self.templ.owner_of(idx)?;
         self.win
             .put(owner, local_idx, &[v])
-            .map_err(PardisError::from)
+            .map_err(PardisError::from)?;
+        #[cfg(feature = "analyze")]
+        crate::race::on_window_access(self.win.id(), owner, local_idx, 1, true);
+        Ok(())
     }
 
     /// **Non-collective** bulk read of `[start, start+len)`, spanning
@@ -461,6 +523,8 @@ impl ExposedSeq {
                     .get(owner, local_idx, take)
                     .map_err(PardisError::from)?,
             );
+            #[cfg(feature = "analyze")]
+            crate::race::on_window_access(self.win.id(), owner, local_idx, take, false);
             idx += take;
         }
         Ok(out)
@@ -470,10 +534,29 @@ impl ExposedSeq {
     /// before the fence are visible after it.
     pub fn fence(&self, rts: &Endpoint) {
         self.win.fence(rts);
+        #[cfg(feature = "analyze")]
+        {
+            // The fence barrier made every pre-fence access visible;
+            // one rank drains the epoch's log before the second barrier
+            // releases the others into the next epoch.
+            if self.thread == 0 {
+                crate::race::window_fence(self.win.id());
+            }
+            rts.barrier();
+        }
     }
 
     /// Collectively end the exposure and recover the sequence.
     pub fn into_seq(self, rts: &Endpoint) -> PardisResult<DSequence<f64>> {
+        #[cfg(feature = "analyze")]
+        {
+            // Close the final exposure epoch; `free` barriers again
+            // before tearing the window down.
+            rts.barrier();
+            if self.thread == 0 {
+                crate::race::window_fence(self.win.id());
+            }
+        }
         let local = self.win.free(rts);
         let mut seq = DSequence::from_parts(local, self.templ, self.thread)?;
         if let Some(b) = self.bound {

@@ -71,6 +71,8 @@ pub mod error;
 pub mod future;
 pub mod naming;
 pub mod orb;
+#[cfg(feature = "analyze")]
+pub mod race;
 pub mod request;
 pub mod server;
 pub mod transfer;
@@ -83,6 +85,8 @@ pub use error::{PardisError, PardisResult};
 pub use future::PardisFuture;
 pub use naming::NameService;
 pub use orb::{DegradePolicy, OrbCtx, OrbOptions};
+#[cfg(feature = "analyze")]
+pub use race::{AccessKind, RaceReport};
 pub use request::{ArgDir, DistArgSend, InvokeTiming, ReplyResult, RequestSpec};
 pub use server::{DistIn, Servant, ServerRequest};
 pub use world::{MachineHandle, World};

@@ -153,6 +153,10 @@ impl OrbCtx {
         naming: NameService,
         opts: OrbOptions,
     ) -> PardisResult<OrbCtx> {
+        // Bind this thread's race-analyzer identity before any tracked
+        // buffer can be created on it.
+        #[cfg(feature = "analyze")]
+        crate::race::set_actor(&host.name(), rts.rank());
         // Each thread opens its own data port, in rank order so the
         // machine's port numbering is a pure function of thread count —
         // this is what lets a seeded fault plan replay identically

@@ -329,6 +329,10 @@ pub struct DistArgSend {
     /// Server-side layout (materialized from the object reference's
     /// registered template, defaulting to blockwise).
     pub server_templ: DistTempl,
+    /// Race-analyzer identity of the client-side source buffer; 0 when
+    /// the argument was not built from a tracked sequence.
+    #[cfg(feature = "analyze")]
+    pub buf_id: u64,
 }
 
 impl DistArgSend {
@@ -584,6 +588,8 @@ mod tests {
             local: Bytes::from(vec![0u8; 40]),
             client_templ: DistTempl::block(10, 2),
             server_templ: DistTempl::block(10, 3),
+            #[cfg(feature = "analyze")]
+            buf_id: 0,
         };
         let m = a.meta();
         assert_eq!(m.total_len, 10);

@@ -32,6 +32,19 @@ pub(crate) fn client_send(
     spec: &RequestSpec,
     pending: &mut PendingInvoke,
 ) -> PardisResult<()> {
+    // Every distributed argument's client buffer is in flight from here
+    // until the invocation completes.
+    #[cfg(feature = "analyze")]
+    for arg in &spec.dist_args {
+        crate::race::open_transfer(
+            arg.buf_id,
+            arg.dir,
+            &spec.operation,
+            pending.req_id,
+            "centralized",
+            ctx.rts.membership().epoch(),
+        );
+    }
     // Gather each sending distributed argument at the communicating
     // thread through the RTS.
     let mut gathered: Vec<Option<Vec<Bytes>>> = Vec::with_capacity(spec.dist_args.len());

@@ -44,6 +44,20 @@ pub(crate) fn client_send(
         return Err(PardisError::MultiportUnavailable);
     }
 
+    // Every distributed argument's client buffer is in flight from here
+    // until the invocation completes.
+    #[cfg(feature = "analyze")]
+    for arg in &spec.dist_args {
+        crate::race::open_transfer(
+            arg.buf_id,
+            arg.dir,
+            &spec.operation,
+            pending.req_id,
+            "multi-port",
+            ctx.rts.membership().epoch(),
+        );
+    }
+
     // Header first, so the server threads are awaiting fragments.
     if let Some(conn) = proxy.conn.as_ref() {
         let tp = Instant::now();
@@ -100,6 +114,7 @@ pub(crate) fn client_send(
                     offset: range.start as u64,
                     count: (range.end - range.start) as u64,
                     total_len: arg.client_templ.len() as u64,
+                    epoch: ctx.rts.membership().epoch(),
                 },
                 Bytes::from(frag),
             );
@@ -326,6 +341,7 @@ pub(crate) fn server_send_reply(
                     offset: range.start as u64,
                     count: (range.end - range.start) as u64,
                     total_len: d.server_templ.len() as u64,
+                    epoch: ctx.rts.membership().epoch(),
                 },
                 Bytes::from(frag),
             );

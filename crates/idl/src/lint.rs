@@ -5,16 +5,23 @@
 //! distribution templates and collective-invocation hazards that the
 //! type checker accepts but that deadlock or waste work at run time:
 //!
-//! | code  | severity | finding |
-//! |-------|----------|---------|
-//! | PA001 | error    | `proportions` weights are all zero |
-//! | PA002 | error    | `proportions` arity ≠ `#pragma pardis threads N` |
-//! | PA003 | warning  | a thread owns no elements (small bound / zero weight) |
-//! | PA004 | warning  | redistribution to a template identical to the default |
-//! | PA005 | warning  | `oneway` op with a distributed arg not `idempotent` |
-//! | PA006 | warning  | one op's dsequence args carry divergent templates |
-//! | PA007 | warning  | unrecognized `#pragma pardis` directive |
-//! | PA104 | warning  | degraded-mode policy discards a fixed `proportions` template |
+//! The catalog below is generated from the registry — each row is
+//! `| code | severity | summary() |` verbatim, and the
+//! `lint_catalog_docs_match_registry` test fails on drift (here and in
+//! DESIGN.md §9):
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | PA001 | error | proportions weights are all zero |
+//! | PA002 | error | proportions arity differs from the declared thread count |
+//! | PA003 | warning | a computing thread owns no elements under this template |
+//! | PA004 | warning | redistribution to a template identical to the default |
+//! | PA005 | warning | oneway op with a distributed argument is not marked idempotent |
+//! | PA006 | warning | one operation's dsequence arguments carry divergent templates |
+//! | PA007 | warning | unrecognized #pragma pardis directive |
+//! | PA104 | warning | degraded-mode policy discards a fixed proportions template |
+//! | PA205 | error | oneway op declares a returning (out/inout) distributed argument |
+//! | PA206 | warning | overlapping proportions templates alias a thread's buffers in one operation |
 //!
 //! (PA104 shares its code with the runtime finding recorded by the ORB
 //! when the remap actually happens; this is the static half.)
@@ -58,6 +65,8 @@ pub fn all_passes() -> Vec<Box<dyn LintPass>> {
         Box::new(DivergentArgTemplates),
         Box::new(UnknownPardisPragma),
         Box::new(DegradedFixedProportions),
+        Box::new(OnewayDistReturns),
+        Box::new(OverlappingProportions),
     ]
 }
 
@@ -582,6 +591,115 @@ impl LintPass for DegradedFixedProportions {
     }
 }
 
+/// PA205: sema accepts a distributed argument in a returning direction
+/// on a `oneway` operation (so the hazard can be reported precisely
+/// here instead of as a generic type error), but a oneway invocation
+/// never carries a reply — the redistributed result can never reach
+/// the caller's computing threads.
+struct OnewayDistReturns;
+impl LintPass for OnewayDistReturns {
+    fn code(&self) -> &'static str {
+        "PA205"
+    }
+    fn summary(&self) -> &'static str {
+        "oneway op declares a returning (out/inout) distributed argument"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for site in &ctx.ops {
+            let op = site.op;
+            if !op.oneway {
+                continue;
+            }
+            for p in &op.params {
+                if p.dir == ParamDir::In || ctx.dseq_shape(&p.ty, &site.scope).is_none() {
+                    continue;
+                }
+                let dir = if p.dir == ParamDir::Out {
+                    "out"
+                } else {
+                    "inout"
+                };
+                out.push(finding(
+                    self,
+                    ctx,
+                    p.pos,
+                    format!(
+                        "oneway operation `{}`: parameter `{}` is `{dir}`, but a oneway \
+                         invocation never returns; the redistributed result can never reach \
+                         the caller",
+                        op.name, p.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// PA206: two `proportions` templates in one operation that both place
+/// elements on the same thread make that thread's local buffers alias
+/// during a returning transfer — while the collective redistributes one
+/// argument back, the same thread still owns live elements of the
+/// other. Disjoint partitions (no thread weighted in both) are safe.
+struct OverlappingProportions;
+impl LintPass for OverlappingProportions {
+    fn code(&self) -> &'static str {
+        "PA206"
+    }
+    fn summary(&self) -> &'static str {
+        "overlapping proportions templates alias a thread's buffers in one operation"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+    fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics) {
+        for site in &ctx.ops {
+            let op = site.op;
+            // Every param with an *explicit* proportions template;
+            // defaulted/blockwise args never pin a per-thread layout.
+            let props: Vec<(&str, ParamDir, Vec<u64>, Pos)> = op
+                .params
+                .iter()
+                .filter_map(|p| match ctx.dseq_shape(&p.ty, &site.scope) {
+                    Some((_, Some(DistAnnot::Proportions(ws)))) => {
+                        Some((p.name.as_str(), p.dir, ws, p.pos))
+                    }
+                    _ => None,
+                })
+                .collect();
+            'op: for (i, a) in props.iter().enumerate() {
+                for b in &props[i + 1..] {
+                    // Aliasing only bites when a transfer returns into
+                    // one of the buffers mid-collective.
+                    if a.1 == ParamDir::In && b.1 == ParamDir::In {
+                        continue;
+                    }
+                    let overlap =
+                        a.2.iter()
+                            .zip(b.2.iter())
+                            .position(|(&wa, &wb)| wa > 0 && wb > 0);
+                    if let Some(t) = overlap {
+                        out.push(finding(
+                            self,
+                            ctx,
+                            b.3,
+                            format!(
+                                "operation `{}`: `proportions` templates of `{}` and `{}` \
+                                 both place elements on thread {t}; a returning transfer \
+                                 aliases that thread's buffers mid-collective",
+                                op.name, a.0, b.0
+                            ),
+                        ));
+                        break 'op; // one finding per operation
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -766,15 +884,89 @@ mod tests {
     }
 
     #[test]
+    fn pa205_oneway_returning_dist_arg() {
+        let d = lint_src(
+            "typedef dsequence<double> arr;
+             interface i { oneway idempotent void pull(out arr a); };",
+        );
+        assert_eq!(codes(&d), vec!["PA205"]);
+        assert!(d.has_errors());
+        let d = lint_src(
+            "typedef dsequence<double> arr;
+             interface i { oneway idempotent void pull(inout arr a); };",
+        );
+        assert_eq!(codes(&d), vec!["PA205"]);
+        // `in` distributed args and two-way returning args are fine.
+        let d = lint_src(
+            "typedef dsequence<double> arr;
+             interface i { oneway idempotent void push(in arr a); void pull(out arr a); };",
+        );
+        assert!(d.is_empty(), "{d}");
+    }
+
+    #[test]
+    fn pa206_overlapping_proportions() {
+        let d = lint_src(
+            "interface i { void f(in dsequence<double, 8, proportions<3, 1>> a,
+                                  inout dsequence<double, 8, proportions<3, 1>> b); };",
+        );
+        assert_eq!(codes(&d), vec!["PA206"]);
+        assert!(!d.has_errors());
+        // Disjoint partitions never alias (PA003/PA006 silenced: the
+        // zero weights and divergent templates are deliberate here).
+        let d = lint_src(
+            "#pragma pardis allow PA003,PA006\n\
+             interface i { void f(in dsequence<double, 8, proportions<1, 0>> a,
+                                  inout dsequence<double, 8, proportions<0, 1>> b); };",
+        );
+        assert!(d.is_empty(), "{d}");
+        // All-`in` overlap is harmless — nothing returns mid-collective.
+        let d = lint_src(
+            "interface i { void f(in dsequence<double, 8, proportions<3, 1>> a,
+                                  in dsequence<double, 8, proportions<3, 1>> b); };",
+        );
+        assert!(d.is_empty(), "{d}");
+        // A single explicit template has nothing to overlap with.
+        let d = lint_src(
+            "interface i { void f(in dsequence<double, 8, proportions<3, 1>> a,
+                                  inout dsequence<double, 8> b); };",
+        );
+        assert!(!codes(&d).contains(&"PA206"), "{d}");
+    }
+
+    #[test]
     fn registry_is_complete_and_distinct() {
         let passes = all_passes();
         let codes: Vec<&str> = passes.iter().map(|p| p.code()).collect();
         assert_eq!(
             codes,
-            vec!["PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007", "PA104"]
+            vec![
+                "PA001", "PA002", "PA003", "PA004", "PA005", "PA006", "PA007", "PA104", "PA205",
+                "PA206"
+            ]
         );
         for p in &passes {
             assert!(!p.summary().is_empty());
+        }
+    }
+
+    /// The catalogs in this module's docs and in DESIGN.md §9 are
+    /// hand-written copies of the registry; this test fails when they
+    /// drift from `code()`/`severity()`/`summary()`.
+    #[test]
+    fn lint_catalog_docs_match_registry() {
+        let module_src = include_str!("lint.rs");
+        let design = include_str!("../../../DESIGN.md");
+        for p in all_passes() {
+            let row = format!("| {} | {} | {} |", p.code(), p.severity(), p.summary());
+            assert!(
+                module_src.contains(&row),
+                "lint.rs module doc is missing catalog row: {row}"
+            );
+            assert!(
+                design.contains(&row),
+                "DESIGN.md §9 is missing catalog row: {row}"
+            );
         }
     }
 }

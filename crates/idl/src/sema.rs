@@ -391,14 +391,25 @@ impl Model {
                 }
                 for p in &op.params {
                     if p.dir != ParamDir::In {
-                        diags.push(Diagnostic::new(
-                            &self.file,
-                            p.pos,
-                            format!(
-                                "oneway operation `{}` can only have `in` parameters",
-                                op.name
-                            ),
-                        ));
+                        // A distributed argument in a returning
+                        // direction is accepted here so the analyzer
+                        // can flag the hazard precisely (lint PA205);
+                        // non-distributed parameters keep the classic
+                        // CORBA rejection.
+                        let distributed = self
+                            .check_type(&p.ty, scope, p.pos, &mut Diagnostics::new())
+                            .map(|rt| rt.is_distributed())
+                            .unwrap_or(false);
+                        if !distributed {
+                            diags.push(Diagnostic::new(
+                                &self.file,
+                                p.pos,
+                                format!(
+                                    "oneway operation `{}` can only have `in` parameters",
+                                    op.name
+                                ),
+                            ));
+                        }
                     }
                 }
                 if !op.raises.is_empty() {
@@ -567,6 +578,13 @@ mod tests {
         assert!(model("interface i { oneway void f(out long x); };").is_err());
         assert!(model("exception e {}; interface i { oneway void f() raises(e); };").is_err());
         assert!(model("interface i { oneway void f(in long x); };").is_ok());
+        // A distributed argument may take a returning direction so the
+        // analyzer can flag it (PA205) instead of sema rejecting it.
+        assert!(model("interface i { oneway void f(inout dsequence<double> d); };").is_ok());
+        assert!(
+            model("typedef dsequence<double> arr; interface i { oneway void f(out arr d); };")
+                .is_ok()
+        );
     }
 
     #[test]

@@ -163,9 +163,14 @@ fn analyze_emits_schema_json() {
     );
     let out = idlc().arg("--analyze").arg(&warn).output().unwrap();
     let json = String::from_utf8(out.stdout).unwrap();
-    // The stable machine-readable schema: version + findings array with
-    // code/severity/file/line/col/message fields.
-    assert!(json.starts_with("{\"version\":1,\"findings\":["), "{json}");
+    // The stable machine-readable schema: schema_version + findings
+    // array with code/severity/file/line/col/message fields.
+    assert!(
+        json.starts_with("{\"schema_version\":2,\"version\":1,\"findings\":["),
+        "{json}"
+    );
+    // v1 consumers keyed on the legacy `"version":1` field keep parsing.
+    assert!(json.contains("\"version\":1"), "{json}");
     assert!(json.contains("\"code\":\"PA002\""), "{json}");
     assert!(json.contains("\"severity\":\"error\""), "{json}");
     assert!(json.contains("\"line\":2"), "{json}");
@@ -174,7 +179,10 @@ fn analyze_emits_schema_json() {
     let clean = write_temp("aj_clean.idl", GOOD);
     let out = idlc().arg("--analyze").arg(&clean).output().unwrap();
     let json = String::from_utf8(out.stdout).unwrap();
-    assert_eq!(json.trim(), "{\"version\":1,\"findings\":[]}");
+    assert_eq!(
+        json.trim(),
+        "{\"schema_version\":2,\"version\":1,\"findings\":[]}"
+    );
 }
 
 #[test]
@@ -189,7 +197,10 @@ fn analyze_allow_suppresses_codes() {
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
     let json = String::from_utf8(out.stdout).unwrap();
-    assert_eq!(json.trim(), "{\"version\":1,\"findings\":[]}");
+    assert_eq!(
+        json.trim(),
+        "{\"schema_version\":2,\"version\":1,\"findings\":[]}"
+    );
 }
 
 #[test]

@@ -264,6 +264,11 @@ pub struct TransferHeader {
     /// Global length of the sequence (lets the receiver size its local
     /// part before all fragments arrive).
     pub total_len: u64,
+    /// Sender's SPMD membership epoch when the fragment was cut. A
+    /// receiver whose epoch has moved on knows the fragment was sliced
+    /// against a stale distribution template; the race analyzer uses
+    /// the same stamp to scope transfer intervals to an epoch.
+    pub epoch: u64,
 }
 
 impl Encode for TransferHeader {
@@ -275,6 +280,7 @@ impl Encode for TransferHeader {
         w.put_u64(self.offset);
         w.put_u64(self.count);
         w.put_u64(self.total_len);
+        w.put_u64(self.epoch);
         Ok(())
     }
 }
@@ -289,6 +295,7 @@ impl Decode for TransferHeader {
             offset: r.get_u64()?,
             count: r.get_u64()?,
             total_len: r.get_u64()?,
+            epoch: r.get_u64()?,
         })
     }
 }
@@ -474,6 +481,7 @@ mod tests {
                 offset: 1024,
                 count: 512,
                 total_len: 4096,
+                epoch: 2,
             },
             Bytes::from(vec![0u8; 4096]),
         );

@@ -1,0 +1,317 @@
+//! Per-rank vector clocks for happens-before analysis (the `analyze`
+//! feature).
+//!
+//! Every collective a rank completes — barrier, broadcast, gather,
+//! scatter, all-to-all, survivor barrier — advances that rank's
+//! component of a domain-wide vector clock and joins it with every
+//! other participant's clock (the exchange rides dedicated reserved
+//! tags, raw sends only, so it cannot recurse into the collectives it
+//! observes). A membership epoch change also ticks the clock: crossing
+//! an epoch is an ordering event even when no data moves.
+//!
+//! The clock state lives in a thread-local [`ClockWitness`], matching
+//! the SPMD model (each computing thread owns exactly one rank). The
+//! witness is what instrumented code above the RTS consults: an access
+//! stamped with the witness's snapshot is happens-before-ordered after
+//! everything that preceded the rank's last completed collective, and
+//! concurrent with anything not yet joined. Because clocks advance
+//! only on collectives and epoch changes — both deterministic under a
+//! seeded fault plan — every snapshot replays bit-for-bit.
+
+use crate::endpoint::Endpoint;
+use crate::error::RtsResult;
+use crate::{Tag, RESERVED_TAG_BASE};
+use bytes::Bytes;
+use std::cell::RefCell;
+
+/// Clock snapshots travel rank → 0 on this tag.
+pub const CLOCK_IN: Tag = RESERVED_TAG_BASE + 9;
+/// The joined clock travels 0 → rank on this tag.
+pub const CLOCK_OUT: Tag = RESERVED_TAG_BASE + 10;
+
+/// A vector clock: component `r` counts rank `r`'s completed ordering
+/// events (collectives + epoch transitions).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct VClock(pub Vec<u64>);
+
+impl VClock {
+    /// The zero clock for a domain of `size` ranks.
+    pub fn zero(size: usize) -> VClock {
+        VClock(vec![0; size])
+    }
+
+    /// Advance `rank`'s component by one.
+    pub fn tick(&mut self, rank: usize) {
+        if rank >= self.0.len() {
+            self.0.resize(rank + 1, 0);
+        }
+        self.0[rank] += 1;
+    }
+
+    /// Component-wise maximum with `other` (the happens-before join).
+    pub fn join(&mut self, other: &VClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, &theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(theirs);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (every component
+    /// ≤; missing components count as 0).
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Little-endian `u64` wire encoding.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.0.len() * 8);
+        for &c in &self.0 {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    /// Inverse of [`VClock::encode`]; trailing partial words are
+    /// dropped.
+    pub fn decode(payload: &[u8]) -> VClock {
+        let mut out = Vec::with_capacity(payload.len() / 8);
+        for chunk in payload.chunks_exact(8) {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(chunk);
+            out.push(u64::from_le_bytes(a));
+        }
+        VClock(out)
+    }
+}
+
+struct WitnessState {
+    rank: usize,
+    clock: VClock,
+    last_epoch: u64,
+}
+
+thread_local! {
+    static WITNESS: RefCell<Option<WitnessState>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's clock witness. All methods are static: the
+/// state is thread-local, lazily initialized by the rank's first
+/// completed collective (or an explicit [`ClockWitness::init`]).
+pub struct ClockWitness;
+
+impl ClockWitness {
+    /// Bind the calling thread to `rank` in a domain of `size` ranks,
+    /// starting from the zero clock if the thread had no witness yet.
+    pub fn init(rank: usize, size: usize) {
+        WITNESS.with(|w| {
+            let mut w = w.borrow_mut();
+            match &mut *w {
+                Some(s) => {
+                    s.rank = rank;
+                    if s.clock.0.len() < size {
+                        s.clock.0.resize(size, 0);
+                    }
+                }
+                None => {
+                    *w = Some(WitnessState {
+                        rank,
+                        clock: VClock::zero(size),
+                        last_epoch: 0,
+                    });
+                }
+            }
+        });
+    }
+
+    /// Snapshot of the calling thread's clock; empty if the thread has
+    /// not completed any ordering event yet.
+    pub fn snapshot() -> VClock {
+        WITNESS.with(|w| {
+            w.borrow()
+                .as_ref()
+                .map(|s| s.clock.clone())
+                .unwrap_or_default()
+        })
+    }
+
+    /// Advance the calling thread's own component (one ordering event).
+    pub fn tick() {
+        WITNESS.with(|w| {
+            if let Some(s) = w.borrow_mut().as_mut() {
+                let r = s.rank;
+                s.clock.tick(r);
+            }
+        });
+    }
+
+    /// Observe the domain membership epoch; a change since the last
+    /// observation is an ordering event and ticks the clock.
+    pub fn observe_epoch(epoch: u64) {
+        WITNESS.with(|w| {
+            if let Some(s) = w.borrow_mut().as_mut() {
+                if s.last_epoch != epoch {
+                    s.last_epoch = epoch;
+                    let r = s.rank;
+                    s.clock.tick(r);
+                }
+            }
+        });
+    }
+
+    /// Join `other` into the calling thread's clock (a receive).
+    pub fn join(other: &VClock) {
+        WITNESS.with(|w| {
+            if let Some(s) = w.borrow_mut().as_mut() {
+                s.clock.join(other);
+            }
+        });
+    }
+
+    /// Replace the calling thread's clock (adopting a collective join).
+    fn set(clock: VClock) {
+        WITNESS.with(|w| {
+            if let Some(s) = w.borrow_mut().as_mut() {
+                s.clock = clock;
+            }
+        });
+    }
+
+    /// Encoded snapshot for stamping an outgoing message.
+    pub fn stamp_bytes() -> Bytes {
+        ClockWitness::snapshot().encode()
+    }
+
+    /// Join an incoming message's clock stamp.
+    pub fn join_bytes(payload: &[u8]) {
+        ClockWitness::join(&VClock::decode(payload));
+    }
+}
+
+#[inline]
+fn is_live(dead: u64, rank: usize) -> bool {
+    rank >= 64 || dead & (1u64 << rank) == 0
+}
+
+impl Endpoint {
+    /// Advance and exchange vector clocks after a completed collective:
+    /// every live rank ticks its own component, rank 0 joins all live
+    /// clocks and re-distributes the join, and every live rank adopts
+    /// it. Built on raw reserved-tag sends (like [`crate::verify`]) so
+    /// it cannot recurse into the collectives it instruments. Lockstep:
+    /// a rank has at most one clock exchange outstanding, so rounds
+    /// cannot cross-match.
+    pub fn clock_sync(&self, dead: u64) -> RtsResult<()> {
+        let rank = self.rank();
+        if !is_live(dead, rank) {
+            return Ok(());
+        }
+        ClockWitness::init(rank, self.size());
+        ClockWitness::observe_epoch(self.membership().epoch());
+        ClockWitness::tick();
+        let live_others: Vec<usize> = (0..self.size())
+            .filter(|&r| r != rank && is_live(dead, r))
+            .collect();
+        if live_others.is_empty() {
+            return Ok(());
+        }
+        if rank == 0 {
+            let mut joined = ClockWitness::snapshot();
+            for _ in 0..live_others.len() {
+                let m = self.recv_filtered(|m| m.tag == CLOCK_IN)?;
+                joined.join(&VClock::decode(&m.payload));
+            }
+            let payload = joined.encode();
+            for &to in &live_others {
+                self.send_internal(to, CLOCK_OUT, payload.clone())?;
+            }
+            ClockWitness::set(joined);
+        } else {
+            self.send_internal(0, CLOCK_IN, ClockWitness::stamp_bytes())?;
+            let m = self.recv_filtered(|m| m.from == 0 && m.tag == CLOCK_OUT)?;
+            ClockWitness::set(VClock::decode(&m.payload));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Domain, ReduceOp};
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock(vec![3, 0, 5]);
+        a.join(&VClock(vec![1, 4]));
+        assert_eq!(a.0, vec![3, 4, 5]);
+        let mut short = VClock(vec![1]);
+        short.join(&VClock(vec![0, 0, 9]));
+        assert_eq!(short.0, vec![1, 0, 9]);
+    }
+
+    #[test]
+    fn leq_orders_clocks() {
+        assert!(VClock(vec![1, 2]).leq(&VClock(vec![1, 2, 0])));
+        assert!(!VClock(vec![2, 0]).leq(&VClock(vec![1, 9])));
+        assert!(VClock::default().leq(&VClock(vec![0])));
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let c = VClock(vec![7, 0, u64::MAX]);
+        assert_eq!(VClock::decode(&c.encode()), c);
+        assert_eq!(VClock::decode(b""), VClock::default());
+    }
+
+    #[test]
+    fn collectives_advance_all_components() {
+        let results = Domain::run(3, |ep| {
+            ep.barrier();
+            let _ = ep.allreduce_scalar(1.0, ReduceOp::Sum).unwrap();
+            ep.barrier();
+            ClockWitness::snapshot()
+        });
+        // barrier + (reduce→broadcast sync) + barrier = 3 syncs; every
+        // rank adopted the same join each time.
+        for r in &results {
+            assert_eq!(r.0, vec![3, 3, 3], "{results:?}");
+        }
+    }
+
+    #[test]
+    fn clocks_replay_deterministically() {
+        let run = || {
+            Domain::run(2, |ep| {
+                for _ in 0..5 {
+                    ep.barrier();
+                }
+                let _ = ep
+                    .broadcast(0, (ep.rank() == 0).then(|| Bytes::from_static(b"x")))
+                    .unwrap();
+                ClockWitness::snapshot()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn epoch_change_ticks_clock() {
+        let results = Domain::run(2, |ep| {
+            ep.barrier();
+            let before = ClockWitness::snapshot();
+            if true {
+                // Observe a synthetic epoch bump without a collective.
+                ClockWitness::observe_epoch(ep.membership().epoch() + 1);
+            }
+            (before, ClockWitness::snapshot())
+        });
+        for (rank, (before, after)) in results.into_iter().enumerate() {
+            assert_eq!(after.0[rank], before.0[rank] + 1);
+        }
+    }
+}

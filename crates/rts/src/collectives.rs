@@ -59,7 +59,9 @@ impl Endpoint {
         }
         let dead = self.dead_mask();
         self.check_participants(dead, root)?;
-        if self.rank() == root {
+        #[cfg(feature = "analyze")]
+        let _wait = crate::lockgraph::collective_enter("broadcast");
+        let out = if self.rank() == root {
             let data =
                 data.ok_or_else(|| RtsError::Internal("root must supply broadcast data".into()))?;
             for to in 0..self.size() {
@@ -70,7 +72,12 @@ impl Endpoint {
             Ok(data)
         } else {
             self.recv_internal(root, tags::BCAST)
+        };
+        #[cfg(feature = "analyze")]
+        if out.is_ok() {
+            let _ = self.clock_sync(dead);
         }
+        out
     }
 
     /// Gather each rank's `bytes` at `root`. Returns `Some(chunks)` in
@@ -84,7 +91,9 @@ impl Endpoint {
         }
         let dead = self.dead_mask();
         self.check_participants(dead, root)?;
-        if self.rank() == root {
+        #[cfg(feature = "analyze")]
+        let _wait = crate::lockgraph::collective_enter("gather");
+        let out = if self.rank() == root {
             // Dead ranks contribute an empty chunk; stale messages they
             // sent before dying are discarded, not counted.
             let mut chunks: Vec<Option<Bytes>> = vec![None; self.size()];
@@ -108,7 +117,12 @@ impl Endpoint {
         } else {
             self.send_internal(root, tags::GATHER, bytes)?;
             Ok(None)
+        };
+        #[cfg(feature = "analyze")]
+        if out.is_ok() {
+            let _ = self.clock_sync(dead);
         }
+        out
     }
 
     /// Gather a distributed `f64` buffer at `root`, concatenated in rank
@@ -141,7 +155,9 @@ impl Endpoint {
         }
         let dead = self.dead_mask();
         self.check_participants(dead, root)?;
-        if self.rank() == root {
+        #[cfg(feature = "analyze")]
+        let _wait = crate::lockgraph::collective_enter("scatter");
+        let out = if self.rank() == root {
             let chunks = chunks
                 .ok_or_else(|| RtsError::Internal("root must supply scatter chunks".into()))?;
             if chunks.len() != self.size() {
@@ -161,7 +177,12 @@ impl Endpoint {
             mine.ok_or_else(|| RtsError::Internal("root's own scatter chunk missing".into()))
         } else {
             self.recv_internal(root, tags::SCATTER)
+        };
+        #[cfg(feature = "analyze")]
+        if out.is_ok() {
+            let _ = self.clock_sync(dead);
         }
+        out
     }
 
     /// Scatter an `f64` buffer held at `root` according to per-rank
@@ -309,6 +330,8 @@ impl Endpoint {
         if !live(dead, self.rank()) {
             return Err(RtsError::DeadRank { rank: self.rank() });
         }
+        #[cfg(feature = "analyze")]
+        let _wait = crate::lockgraph::collective_enter("alltoall");
         let mut incoming: Vec<Option<Bytes>> = vec![None; self.size()];
         for (to, chunk) in outgoing.into_iter().enumerate() {
             if to == self.rank() {
@@ -330,6 +353,8 @@ impl Endpoint {
             }
             incoming[m.from] = Some(m.payload);
         }
+        #[cfg(feature = "analyze")]
+        let _ = self.clock_sync(dead);
         Ok(incoming
             .into_iter()
             .map(Option::unwrap_or_default)

@@ -219,6 +219,8 @@ impl Endpoint {
     /// assumed alive (its death is machine death at the layer above).
     pub fn barrier(&self) {
         let dead = self.membership.dead_mask();
+        #[cfg(feature = "analyze")]
+        let _wait = crate::lockgraph::collective_enter("barrier");
         if dead == 0 {
             self.barrier.wait();
         } else {
@@ -228,6 +230,8 @@ impl Endpoint {
             // the disconnect as a typed error.
             let _ = self.survivor_barrier(dead);
         }
+        #[cfg(feature = "analyze")]
+        let _ = self.clock_sync(dead);
     }
 }
 

@@ -44,6 +44,8 @@
 //! }
 //! ```
 
+#[cfg(feature = "analyze")]
+pub mod clock;
 pub mod collectives;
 pub mod domain;
 pub mod endpoint;

@@ -84,6 +84,11 @@ fn registry_retire(inner: &Arc<WindowInner>) {
 pub struct Window {
     inner: Arc<WindowInner>,
     rank: usize,
+    /// The registry id the window was published under at creation —
+    /// identical on every rank, which makes it a collective identity
+    /// for the exposure epoch (the race analyzer keys its access log
+    /// on it).
+    id: u64,
 }
 
 impl Window {
@@ -97,18 +102,19 @@ impl Window {
         // pick it up by id; after the install barrier rank 0 retires
         // the registry entry, so the window's lifetime is carried by
         // the handles alone.
-        let inner: Arc<WindowInner> = if rts.rank() == 0 {
+        let (inner, id): (Arc<WindowInner>, u64) = if rts.rank() == 0 {
             let inner = Arc::new(WindowInner {
                 parts: (0..rts.size()).map(|_| RwLock::new(Vec::new())).collect(),
             });
             let id = registry_publish(inner.clone());
             rts.broadcast(0, Some(bytes::Bytes::copy_from_slice(&id.to_le_bytes())))?;
-            inner
+            (inner, id)
         } else {
             let b = rts.broadcast(0, None)?;
             let mut a = [0u8; 8];
             a.copy_from_slice(&b[..8]);
-            registry_take(u64::from_le_bytes(a))?
+            let id = u64::from_le_bytes(a);
+            (registry_take(id)?, id)
         };
         {
             let _t = track_lock("rma::window_part");
@@ -123,7 +129,14 @@ impl Window {
         Ok(Window {
             inner,
             rank: rts.rank(),
+            id,
         })
+    }
+
+    /// The window's collective identity: identical on every rank of the
+    /// exposure epoch.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Number of ranks exposing memory.

@@ -65,6 +65,7 @@ fn sample_transfer(endian: Endian) -> Bytes {
             offset: 32,
             count: 8,
             total_len: 256,
+            epoch: 0,
         },
         Bytes::from(vec![0x5A; 64]),
     )

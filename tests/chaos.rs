@@ -530,3 +530,88 @@ fn thread_death_multiport_demotes_and_completes() {
         assert_eq!(r.fallbacks, r1[0].fallbacks);
     }
 }
+
+// ---------------------------------------------------------------------
+// Race-replay chaos (the `analyze` feature): the happens-before
+// detector's findings are part of the run's observable outcome, so two
+// replays of one seed must drain bit-for-bit identical `RaceReport`
+// lists — clocks, buffer ids, request ids, and details included.
+
+#[cfg(feature = "analyze")]
+mod race_replay {
+    use super::*;
+    use pardis_core::race;
+
+    const RACE_LEN: usize = 32;
+    const RACE_INVOCATIONS: usize = 5;
+
+    /// One run: multi-port `invoke_nb`, with the seed scheduling which
+    /// invocations touch `local_data_mut` while the transfer interval
+    /// is still open. `racy = false` only touches after `wait` — the
+    /// false-positive control.
+    fn run_race(seed: u64, racy: bool, client_name: &'static str) -> Vec<race::RaceReport> {
+        let world = World::new(LinkSpec::unlimited());
+        let server = world.spawn_machine("race-server", SERVER_THREADS, |ctx| {
+            ctx.register("example", Box::new(SumServant), vec![])
+                .unwrap();
+            ctx.serve_forever().unwrap();
+        });
+        let client = world.spawn_machine(client_name, CLIENT_THREADS, move |ctx| {
+            let mut proxy = ctx
+                .spmd_bind("example", Some("race-server"), Some(OBJ_TYPE))
+                .unwrap();
+            proxy.set_mode(TransferMode::MultiPort).unwrap();
+            let mut rng = seed;
+            for i in 0..RACE_INVOCATIONS {
+                let mut seq = DSequence::<f64>::new(ctx.rts(), RACE_LEN, None).unwrap();
+                for x in seq.local_data_mut() {
+                    *x = i as f64;
+                }
+                let mut spec = RequestSpec::simple("sum").idempotent();
+                spec.dist_args = vec![proxy.dist_arg("sum", 0, ArgDir::In, &seq).unwrap()];
+                let fut = proxy.invoke_nb(&ctx, spec).unwrap();
+                // Same arithmetic on every thread: the touch schedule
+                // is SPMD-uniform and a pure function of the seed.
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if racy && (i == 0 || rng >> 63 == 1) {
+                    // The hazard: write while the transfer-read
+                    // interval of the in-flight invocation is open.
+                    seq.local_data_mut()[0] = -1.0;
+                }
+                fut.wait().unwrap();
+                // Ordered: the invocation completed first.
+                seq.local_data_mut()[0] = 0.0;
+            }
+            ctx.rts().barrier();
+            if ctx.is_comm_thread() {
+                ctx.send_shutdown(proxy.objref()).unwrap();
+            }
+        });
+        client.join();
+        server.join();
+        race::take_reports(&format!("{client_name}/"))
+    }
+
+    #[test]
+    fn racy_run_replays_bit_for_bit() {
+        let r1 = run_race(SEED, true, "race-chaos-client");
+        let r2 = run_race(SEED, true, "race-chaos-client");
+        assert!(!r1.is_empty(), "seeded race was not detected");
+        for r in &r1 {
+            assert_eq!(r.code, "PA201");
+            assert_eq!(r.first, pardis_core::AccessKind::TransferRead);
+            assert_eq!(r.second, pardis_core::AccessKind::Write);
+        }
+        // Bit-for-bit: every field of every report, including both
+        // vector clocks and the detail strings.
+        assert_eq!(r1, r2, "race replay diverged");
+    }
+
+    #[test]
+    fn clean_run_has_zero_findings() {
+        let reports = run_race(SEED, false, "race-chaos-clean");
+        assert!(reports.is_empty(), "false positives: {reports:#?}");
+    }
+}
