@@ -1,16 +1,19 @@
-//! Echo round-trip latency, with and without the `analyze` feature.
+//! Echo round-trip latency, with and without instrumentation.
 //!
 //! One collective invocation carrying an `in` distributed-sequence
 //! argument, timed over an unlimited link so the wire contributes
 //! nothing and every microsecond is CPU: stubs, CDR, gather/scatter —
-//! and, when compiled with `--features analyze`, the happens-before
-//! instrumentation (vector-clock ticks, access-interval recording).
-//! Running the binary under both configurations measures the
-//! instrumentation overhead reported in EXPERIMENTS.md.
+//! plus, depending on features, the happens-before instrumentation
+//! (`analyze`: vector-clock ticks, access-interval recording) or the
+//! observability instrumentation (`obs`: span recording, per-rank
+//! metrics, service-context propagation). Running the binary under
+//! each configuration against the featureless baseline measures the
+//! instrumentation overheads reported in EXPERIMENTS.md.
 //!
 //! ```text
 //! cargo run --release -p pardis-bench --bin echo [iters]
 //! cargo run --release -p pardis-bench --bin echo --features analyze [iters]
+//! cargo run --release -p pardis-bench --bin echo --features obs [iters]
 //! ```
 
 use pardis::prelude::*;
@@ -22,9 +25,12 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(64);
     let analyze = cfg!(feature = "analyze");
+    let obs = cfg!(feature = "obs");
     println!(
-        "echo: c=4, n=8, unlimited link, {iters} iters/point, analyze instrumentation: {}",
-        if analyze { "ON" } else { "OFF" }
+        "echo: c=4, n=8, unlimited link, {iters} iters/point, \
+         analyze instrumentation: {}, obs instrumentation: {}",
+        if analyze { "ON" } else { "OFF" },
+        if obs { "ON" } else { "OFF" }
     );
     println!();
     println!("  length_doubles, centralized_us, multiport_us");

@@ -114,6 +114,13 @@ pub struct PendingInvoke {
     /// A send-phase failure deferred until the receive phase, so the
     /// machine's threads stay in lockstep through the collectives.
     pub(crate) send_error: Option<PardisError>,
+    /// Operation name, kept to label the invocation span.
+    #[cfg(feature = "obs")]
+    pub(crate) op: String,
+    /// This rank's root span id for the invocation (equal to the trace
+    /// id on the thread holding the connection).
+    #[cfg(feature = "obs")]
+    pub(crate) local_root: u64,
 }
 
 impl PendingInvoke {
@@ -142,6 +149,8 @@ impl OrbCtx {
         host: Option<&str>,
         expected_type: Option<&str>,
     ) -> PardisResult<Proxy> {
+        #[cfg(feature = "obs")]
+        let bind_start = Instant::now();
         let objref = if self.is_comm_thread() {
             let objref = self.resolve(name, host)?;
             let bytes = pardis_cdr::traits::to_bytes(&objref).map_err(PardisError::from)?;
@@ -161,6 +170,17 @@ impl OrbCtx {
         } else {
             None
         };
+        #[cfg(feature = "obs")]
+        crate::obs::record_span(
+            pardis_obs::SpanKind::Bind,
+            name,
+            0,
+            pardis_obs::recorder::alloc_span_id(),
+            0,
+            self.rts.membership().epoch(),
+            0,
+            bind_start.elapsed().as_nanos() as u64,
+        );
         Ok(Proxy {
             objref,
             collective: true,
@@ -186,9 +206,22 @@ impl OrbCtx {
         host: Option<&str>,
         expected_type: Option<&str>,
     ) -> PardisResult<Proxy> {
+        #[cfg(feature = "obs")]
+        let bind_start = Instant::now();
         let objref = self.resolve(name, host)?;
         check_type(&objref, expected_type)?;
         let conn = Connection::open(&self.host, objref.host, objref.request_port);
+        #[cfg(feature = "obs")]
+        crate::obs::record_span(
+            pardis_obs::SpanKind::Bind,
+            name,
+            0,
+            pardis_obs::recorder::alloc_span_id(),
+            0,
+            self.rts.membership().epoch(),
+            0,
+            bind_start.elapsed().as_nanos() as u64,
+        );
         Ok(Proxy {
             objref,
             collective: false,
@@ -461,6 +494,8 @@ impl Proxy {
                 };
             }
             self.retries.set(self.retries.get() + 1);
+            #[cfg(feature = "obs")]
+            pardis_obs::metrics::add("orb.retries", 1);
             std::thread::sleep(policy.backoff(attempt));
             attempt += 1;
         }
@@ -543,7 +578,23 @@ impl Proxy {
         };
         if requested == TransferMode::MultiPort && mode == TransferMode::Centralized {
             self.fallbacks.set(self.fallbacks.get() + 1);
+            #[cfg(feature = "obs")]
+            pardis_obs::metrics::add("orb.fallbacks", 1);
         }
+        #[cfg(feature = "obs")]
+        let local_root = {
+            pardis_obs::metrics::add("orb.requests", 1);
+            // The thread holding the connection roots the trace: its
+            // span id is the trace id itself. The other computing
+            // threads hang their phases off a per-rank root span.
+            let root = if self.conn.is_some() {
+                req_id
+            } else {
+                pardis_obs::recorder::alloc_span_id()
+            };
+            pardis_obs::recorder::set_current(req_id, root);
+            root
+        };
 
         let mut pending = PendingInvoke {
             req_id,
@@ -563,6 +614,10 @@ impl Proxy {
             started,
             deadline: spec.deadline.or(self.default_deadline).map(|d| started + d),
             send_error: None,
+            #[cfg(feature = "obs")]
+            op: spec.operation.clone(),
+            #[cfg(feature = "obs")]
+            local_root,
         };
 
         // Sanity: collective bindings require client templates shaped
@@ -697,6 +752,27 @@ impl Proxy {
         }
         if let Ok(r) = &mut result {
             r.timing.total = pending.started.elapsed();
+        }
+        #[cfg(feature = "obs")]
+        {
+            if matches!(&result, Err(PardisError::Timeout)) {
+                pardis_obs::metrics::add("orb.timeouts", 1);
+            }
+            crate::obs::record_span(
+                pardis_obs::SpanKind::Invoke,
+                &pending.op,
+                pending.req_id,
+                pending.local_root,
+                if pending.local_root == pending.req_id {
+                    0
+                } else {
+                    pending.req_id
+                },
+                ctx.rts.membership().epoch(),
+                0,
+                pending.started.elapsed().as_nanos() as u64,
+            );
+            pardis_obs::recorder::clear_current();
         }
         result
     }

@@ -70,6 +70,8 @@ pub mod dseq;
 pub mod error;
 pub mod future;
 pub mod naming;
+#[cfg(feature = "obs")]
+pub mod obs;
 pub mod orb;
 #[cfg(feature = "analyze")]
 pub mod race;

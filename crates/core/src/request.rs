@@ -188,7 +188,19 @@ impl RequestBody {
                 .sum::<usize>();
         let mut w = CdrWriter::with_capacity(endian, cap);
         self.encode(&mut w);
-        w.into_shared()
+        let out = w.into_shared();
+        // Client-side marshal phase of the active invocation; no-op on
+        // threads (e.g. the server's) with no invocation in flight.
+        // Marshal spans carry epoch 0: the body format is epoch-blind.
+        #[cfg(feature = "obs")]
+        crate::obs::record_phase(
+            pardis_obs::SpanKind::Marshal,
+            "request-body",
+            0,
+            out.len() as u64,
+            0,
+        );
+        out
     }
 
     /// Decode from the body bytes of a Request message.

@@ -261,6 +261,8 @@ impl OrbCtx {
                             Err(_) => {
                                 self.serve_decode_errors
                                     .set(self.serve_decode_errors.get() + 1);
+                                #[cfg(feature = "obs")]
+                                pardis_obs::metrics::add("orb.serve_decode_errors", 1);
                                 continue;
                             }
                         }
@@ -274,6 +276,8 @@ impl OrbCtx {
                     Err(_) => {
                         self.serve_decode_errors
                             .set(self.serve_decode_errors.get() + 1);
+                        #[cfg(feature = "obs")]
+                        pardis_obs::metrics::add("orb.serve_decode_errors", 1);
                         continue;
                     }
                 }
@@ -462,6 +466,10 @@ impl OrbCtx {
 
         let mut timing = InvokeTiming::default();
         let t0 = Instant::now();
+        // The client's tracing context, if it sent one: server spans of
+        // this request parent under the client's invocation root.
+        #[cfg(feature = "obs")]
+        let obs_sc = crate::obs::parse_service_context(&header.service_context);
 
         // Materialize this thread's local parts of the distributed
         // arguments. A failure here (e.g. a multi-port fragment wait
@@ -527,6 +535,24 @@ impl OrbCtx {
             }
         };
 
+        // Each rank's dispatch span hangs off the client's invocation
+        // root, stitching the two machines' trees into one trace.
+        #[cfg(feature = "obs")]
+        let obs_dispatch_span = obs_sc.as_ref().map(|sc| {
+            let id = pardis_obs::recorder::alloc_span_id();
+            crate::obs::record_span(
+                pardis_obs::SpanKind::Dispatch,
+                &header.operation,
+                sc.trace_id,
+                id,
+                sc.parent_span,
+                self.rts.membership().epoch(),
+                body.nondist.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+            id
+        });
+
         // Post-invocation synchronization (§3.2: "after the invocation
         // the server's computing threads synchronize").
         let tb = Instant::now();
@@ -591,6 +617,23 @@ impl OrbCtx {
                         multiport::server_send_reply(self, &header, &sreq, endian, &mut timing)?
                     }
                 }
+            }
+        }
+
+        #[cfg(feature = "obs")]
+        {
+            pardis_obs::metrics::add("orb.served", 1);
+            if let (Some(sc), Some(did)) = (&obs_sc, obs_dispatch_span) {
+                crate::obs::record_span(
+                    pardis_obs::SpanKind::Reply,
+                    &header.operation,
+                    sc.trace_id,
+                    pardis_obs::recorder::alloc_span_id(),
+                    did,
+                    self.rts.membership().epoch(),
+                    0,
+                    0,
+                );
             }
         }
 

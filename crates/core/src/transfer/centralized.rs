@@ -19,7 +19,9 @@ use crate::error::{PardisError, PardisResult};
 use crate::orb::OrbCtx;
 use crate::request::{ReplyBody, ReplyResult, RequestBody, RequestSpec};
 use crate::server::{DistIn, ServerRequest};
-use crate::transfer::{pack_into, status_to_result, synthetic_status, unpack_copy};
+use crate::transfer::{
+    pack_into, service_context_entries, status_to_result, synthetic_status, unpack_copy,
+};
 use bytes::Bytes;
 use pardis_net::giop::{GiopMessage, ReplyHeader, ReplyStatus, RequestHeader, TransferMode};
 use std::time::Instant;
@@ -95,13 +97,28 @@ pub(crate) fn client_send(
                 1
             },
             client_data_ports: vec![],
+            service_context: service_context_entries(ctx),
         };
-        let msg = GiopMessage::Request(header, body.to_bytes(ctx.endian));
+        let body_bytes = body.to_bytes(ctx.endian);
+        #[cfg(feature = "obs")]
+        let body_len = body_bytes.len() as u64;
+        let msg = GiopMessage::Request(header, body_bytes);
         pending.timing.pack = tp.elapsed();
 
         let ts = Instant::now();
         conn.send(&msg, ctx.endian)?;
         pending.timing.send = ts.elapsed();
+        #[cfg(feature = "obs")]
+        {
+            pardis_obs::metrics::add("xfer.centralized.bytes", body_len);
+            crate::obs::record_phase(
+                pardis_obs::SpanKind::XferCentralized,
+                &spec.operation,
+                ctx.rts.membership().epoch(),
+                body_len,
+                ts.elapsed().as_nanos() as u64,
+            );
+        }
     }
     Ok(())
 }

@@ -32,6 +32,21 @@ pub(crate) const SYNTH_TIMEOUT: &str = "TIMEOUT:";
 /// Same, for transport failures → [`PardisError::CommFailure`].
 pub(crate) const SYNTH_COMM_FAILURE: &str = "COMM_FAILURE:";
 
+/// The service-context entries for an outgoing request header: the
+/// active tracing context when observability is compiled in, nothing
+/// otherwise.
+pub(crate) fn service_context_entries(ctx: &OrbCtx) -> Vec<(u32, Bytes)> {
+    #[cfg(feature = "obs")]
+    {
+        crate::obs::service_context(&ctx.rts)
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = ctx;
+        Vec::new()
+    }
+}
+
 /// Map a reply status to a client-visible result. Synthetic statuses
 /// fabricated by the communicating thread on a local receive failure
 /// are converted back to their typed CORBA-style errors.

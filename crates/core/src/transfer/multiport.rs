@@ -23,7 +23,7 @@ use crate::error::{PardisError, PardisResult};
 use crate::orb::OrbCtx;
 use crate::request::{ReplyBody, ReplyResult, RequestBody, RequestSpec};
 use crate::server::{DistIn, ServerRequest};
-use crate::transfer::{pack_copy, status_to_result, synthetic_status};
+use crate::transfer::{pack_copy, service_context_entries, status_to_result, synthetic_status};
 use bytes::Bytes;
 use pardis_net::giop::{
     GiopMessage, ReplyHeader, ReplyStatus, RequestHeader, TransferHeader, TransferMode,
@@ -83,6 +83,7 @@ pub(crate) fn client_send(
             } else {
                 vec![ctx.data_port.port()]
             },
+            service_context: service_context_entries(ctx),
         };
         let msg = GiopMessage::Request(header, body.to_bytes(ctx.endian));
         pending.timing.pack += tp.elapsed();
@@ -93,6 +94,8 @@ pub(crate) fn client_send(
 
     // Every thread routes and sends its share of each sending argument.
     let my_thread = if proxy.collective { ctx.rank() } else { 0 };
+    #[cfg(feature = "obs")]
+    let mut obs_bytes: u64 = 0;
     for (arg_idx, arg) in spec.dist_args.iter().enumerate() {
         if !arg.dir.sends() {
             continue;
@@ -105,6 +108,12 @@ pub(crate) fn client_send(
             // paper's measurements, parallel across threads here).
             let tp = Instant::now();
             let frag = pack_copy(&arg.local[lo..hi], arg.elem_size, ctx.translate);
+            #[cfg(feature = "obs")]
+            {
+                let frag_len = frag.len() as u64;
+                pardis_obs::metrics::observe("xfer.multiport.frag_bytes", frag_len);
+                obs_bytes += frag_len;
+            }
             let msg = GiopMessage::DataTransfer(
                 TransferHeader {
                     request_id: pending.req_id,
@@ -132,6 +141,17 @@ pub(crate) fn client_send(
             )?;
             pending.timing.send += ts.elapsed();
         }
+    }
+    #[cfg(feature = "obs")]
+    {
+        pardis_obs::metrics::add("xfer.multiport.bytes", obs_bytes);
+        crate::obs::record_phase(
+            pardis_obs::SpanKind::XferMultiport,
+            &spec.operation,
+            ctx.rts.membership().epoch(),
+            obs_bytes,
+            0,
+        );
     }
     Ok(())
 }

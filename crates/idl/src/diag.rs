@@ -204,16 +204,21 @@ impl Diagnostics {
     /// `pardis-idlc --analyze` output schema):
     ///
     /// ```json
-    /// {"schema_version":2,"version":1,"findings":[{"code":"PA001",
-    ///  "severity":"warning","file":"x.idl","line":3,"col":7,
-    ///  "message":"..."}]}
+    /// {"schema_version":2,"lint_catalog_version":3,"version":1,
+    ///  "findings":[{"code":"PA001","severity":"warning","file":"x.idl",
+    ///  "line":3,"col":7,"message":"..."}]}
     /// ```
     ///
     /// `schema_version` is the document's real version (bumped to 2
-    /// when the PA2xx lints landed); the legacy `version:1` key stays
-    /// so v1 consumers that match on it keep parsing.
+    /// when the PA2xx lints landed); `lint_catalog_version` names the
+    /// lint registry the findings can draw from
+    /// ([`crate::lint::CATALOG_VERSION`]); the legacy `version:1` key
+    /// stays so v1 consumers that match on it keep parsing.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"schema_version\":2,\"version\":1,\"findings\":[");
+        let mut s = format!(
+            "{{\"schema_version\":2,\"lint_catalog_version\":{},\"version\":1,\"findings\":[",
+            crate::lint::CATALOG_VERSION
+        );
         for (i, d) in self.items.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -350,7 +355,10 @@ mod tests {
             "arity \"mismatch\"",
         ));
         let j = ds.to_json();
-        assert!(j.starts_with("{\"schema_version\":2,\"version\":1,"), "{j}");
+        assert!(
+            j.starts_with("{\"schema_version\":2,\"lint_catalog_version\":3,\"version\":1,"),
+            "{j}"
+        );
         assert!(j.contains("\"code\":\"PA002\""), "{j}");
         assert!(j.contains("\"severity\":\"error\""), "{j}");
         assert!(j.contains("\"line\":4"), "{j}");

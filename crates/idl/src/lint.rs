@@ -54,6 +54,13 @@ pub trait LintPass {
     fn run(&self, ctx: &LintCtx<'_>, out: &mut Diagnostics);
 }
 
+/// Version of the lint catalog carried by `pardis-idlc --analyze`
+/// JSON (`lint_catalog_version`). Bumped whenever a pass is added,
+/// removed, or changes code/severity, so consumers can tell which
+/// findings they could possibly see: v1 = PA001–PA007, v2 = +PA104,
+/// v3 = +PA205/PA206.
+pub const CATALOG_VERSION: u32 = 3;
+
 /// The full registry, in code order.
 pub fn all_passes() -> Vec<Box<dyn LintPass>> {
     vec![
@@ -948,6 +955,9 @@ mod tests {
         for p in &passes {
             assert!(!p.summary().is_empty());
         }
+        // The catalog version names the registry above; growing the
+        // registry without bumping it is drift.
+        assert_eq!(CATALOG_VERSION, 3, "registry changed: bump CATALOG_VERSION");
     }
 
     /// The catalogs in this module's docs and in DESIGN.md §9 are

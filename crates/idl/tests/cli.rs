@@ -166,7 +166,9 @@ fn analyze_emits_schema_json() {
     // The stable machine-readable schema: schema_version + findings
     // array with code/severity/file/line/col/message fields.
     assert!(
-        json.starts_with("{\"schema_version\":2,\"version\":1,\"findings\":["),
+        json.starts_with(
+            "{\"schema_version\":2,\"lint_catalog_version\":3,\"version\":1,\"findings\":["
+        ),
         "{json}"
     );
     // v1 consumers keyed on the legacy `"version":1` field keep parsing.
@@ -181,7 +183,7 @@ fn analyze_emits_schema_json() {
     let json = String::from_utf8(out.stdout).unwrap();
     assert_eq!(
         json.trim(),
-        "{\"schema_version\":2,\"version\":1,\"findings\":[]}"
+        "{\"schema_version\":2,\"lint_catalog_version\":3,\"version\":1,\"findings\":[]}"
     );
 }
 
@@ -199,7 +201,7 @@ fn analyze_allow_suppresses_codes() {
     let json = String::from_utf8(out.stdout).unwrap();
     assert_eq!(
         json.trim(),
-        "{\"schema_version\":2,\"version\":1,\"findings\":[]}"
+        "{\"schema_version\":2,\"lint_catalog_version\":3,\"version\":1,\"findings\":[]}"
     );
 }
 

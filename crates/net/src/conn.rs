@@ -137,6 +137,7 @@ mod tests {
                 mode: TransferMode::Centralized,
                 client_threads: 1,
                 client_data_ports: vec![],
+                service_context: vec![],
             },
             Bytes::new(),
         )

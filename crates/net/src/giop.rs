@@ -78,6 +78,11 @@ pub struct RequestHeader {
     /// Data ports of the client's computing threads (multi-port replies
     /// flow directly back to these); empty in centralized mode.
     pub client_data_ports: Vec<PortId>,
+    /// CORBA-style service context: `(slot id, opaque blob)` pairs the
+    /// ORB layers use to piggyback out-of-band state (e.g. the tracing
+    /// span context) on a request. Unknown slots are preserved and
+    /// ignored; empty for plain requests.
+    pub service_context: Vec<(u32, Bytes)>,
 }
 
 impl Encode for RequestHeader {
@@ -93,6 +98,12 @@ impl Encode for RequestHeader {
         w.put_u32(self.client_data_ports.len() as u32);
         for &p in &self.client_data_ports {
             w.put_u32(p);
+        }
+        w.put_u32(self.service_context.len() as u32);
+        for (id, blob) in &self.service_context {
+            w.put_u32(*id);
+            w.put_u32(blob.len() as u32);
+            w.put_bytes(blob);
         }
         Ok(())
     }
@@ -116,6 +127,18 @@ impl Decode for RequestHeader {
         for _ in 0..n {
             client_data_ports.push(r.get_u32()?);
         }
+        let nsc = r.get_u32()? as usize;
+        if nsc > r.remaining() {
+            return Err(pardis_cdr::CdrError::LengthOverflow(nsc as u64));
+        }
+        let mut service_context = Vec::with_capacity(nsc);
+        for _ in 0..nsc {
+            let id = r.get_u32()?;
+            let len = r.get_u32()? as usize;
+            // `take` bounds-checks against the remaining payload, so a
+            // lying length becomes a typed error, not a panic.
+            service_context.push((id, Bytes::copy_from_slice(r.take(len)?)));
+        }
         Ok(RequestHeader {
             request_id,
             object_name,
@@ -126,6 +149,7 @@ impl Decode for RequestHeader {
             mode,
             client_threads,
             client_data_ports,
+            service_context,
         })
     }
 }
@@ -426,6 +450,7 @@ mod tests {
             mode: TransferMode::MultiPort,
             client_threads: 4,
             client_data_ports: vec![21, 22, 23, 24],
+            service_context: vec![(1, Bytes::from_static(b"span-ctx")), (7, Bytes::new())],
         }
     }
 
@@ -522,6 +547,30 @@ mod tests {
             .to_vec();
         wire[4] = 99; // bad version
         assert!(GiopMessage::decode(&Bytes::from(wire)).is_err());
+    }
+
+    #[test]
+    fn lying_service_context_length_rejected() {
+        // A service-context entry claiming more bytes than the stream
+        // holds must fail with a typed CDR error, not panic or over-read.
+        let mut w = CdrWriter::new(Endian::native());
+        let h = RequestHeader {
+            service_context: vec![],
+            ..sample_request()
+        };
+        h.encode(&mut w).unwrap();
+        let mut bytes = w.into_bytes();
+        // Rewrite the trailing service-context count (0) to 1 and
+        // append an entry whose length lies about the payload.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&1u32.to_ne_bytes());
+        let mut w2 = CdrWriter::new(Endian::native());
+        w2.put_u32(9); // slot id
+        w2.put_u32(10_000); // claimed length
+        w2.put_bytes(b"xy"); // actual payload
+        bytes.extend_from_slice(&w2.into_bytes());
+        let mut r = CdrReader::new(&bytes, Endian::native());
+        assert!(RequestHeader::decode(&mut r).is_err());
     }
 
     #[test]

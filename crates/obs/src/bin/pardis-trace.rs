@@ -1,0 +1,113 @@
+//! The `pardis-trace` driver: merges per-rank span logs into a
+//! causally-ordered cross-rank timeline, flags stragglers, and diffs
+//! two traces of the same seed.
+
+use pardis_obs::{timeline, SpanRecord};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pardis-trace — cross-rank timeline reconstruction for PARDIS span logs
+
+USAGE:
+    pardis-trace COMMAND [ARGS]
+
+COMMANDS:
+    merge <logs...>       merge per-rank span logs (JSONL) into one
+                          causally-ordered timeline on stdout; the
+                          output excludes wall-clock fields, so two
+                          replays of one seed merge bit-for-bit
+    stragglers <logs...>  report ranks whose invoke wall time exceeds
+                          twice their peers' median (per trace)
+    diff <A> <B>          compare two span logs (each a file, or a
+                          comma-separated list) as merged timelines
+
+EXIT CODES:
+    0  success (diff: timelines identical)
+    1  diff found a divergence
+    2  usage or I/O error
+";
+
+fn load(paths: &[String]) -> Result<Vec<Vec<SpanRecord>>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("pardis-trace: {p}: {e}"))?;
+        out.push(timeline::parse_log(&text).map_err(|e| format!("pardis-trace: {p}: {e}"))?);
+    }
+    Ok(out)
+}
+
+fn cmd_merge(paths: &[String]) -> Result<ExitCode, String> {
+    if paths.is_empty() {
+        return Err("pardis-trace: merge needs at least one log file".into());
+    }
+    let records: Vec<_> = load(paths)?.into_iter().flatten().collect();
+    print!("{}", timeline::render(&timeline::merge(records)));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stragglers(paths: &[String]) -> Result<ExitCode, String> {
+    if paths.is_empty() {
+        return Err("pardis-trace: stragglers needs at least one log file".into());
+    }
+    let records: Vec<_> = load(paths)?.into_iter().flatten().collect();
+    let found = timeline::stragglers(&records);
+    if found.is_empty() {
+        println!("no stragglers");
+    }
+    for s in &found {
+        println!(
+            "trace {:#x}: {} rank {} waited {} ns (median {} ns)",
+            s.trace_id, s.machine, s.rank, s.wait_ns, s.median_ns
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(a: &str, b: &str) -> Result<ExitCode, String> {
+    let split = |s: &str| -> Vec<String> { s.split(',').map(str::to_string).collect() };
+    let ra: Vec<_> = load(&split(a))?.into_iter().flatten().collect();
+    let rb: Vec<_> = load(&split(b))?.into_iter().flatten().collect();
+    let report = timeline::diff(ra, rb);
+    if report.identical() {
+        println!("identical: {} spans", report.len_a);
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!(
+        "divergent: {} vs {} spans, {} differing lines",
+        report.len_a,
+        report.len_b,
+        report.divergences.len()
+    );
+    for (line, x, y) in &report.divergences {
+        println!("  line {line}:");
+        println!("    A: {x}");
+        println!("    B: {y}");
+    }
+    Ok(ExitCode::from(1))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match (cmd.as_str(), rest) {
+            ("merge", rest) => cmd_merge(rest),
+            ("stragglers", rest) => cmd_stragglers(rest),
+            ("diff", [a, b]) => cmd_diff(a, b),
+            ("diff", _) => Err("pardis-trace: diff needs exactly two arguments".into()),
+            ("help" | "--help" | "-h", _) => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            (other, _) => Err(format!("pardis-trace: unknown command {other:?}")),
+        },
+        None => Err("pardis-trace: missing command".into()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the span-context wire form: encode/decode is
+//! the identity for arbitrary contexts, and every strict prefix of an
+//! encoding is rejected with a typed error (never a panic).
+
+use pardis_cdr::{CdrReader, CdrWriter, Decode, Encode, Endian};
+use pardis_obs::SpanContext;
+use proptest::prelude::*;
+
+fn endian_strategy() -> impl Strategy<Value = Endian> {
+    prop_oneof![Just(Endian::Big), Just(Endian::Little)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn span_context_roundtrips(
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+        rank in any::<u32>(),
+        epoch in any::<u64>(),
+        endian in endian_strategy(),
+    ) {
+        let ctx = SpanContext { trace_id, parent_span, rank, epoch };
+        let mut w = CdrWriter::new(endian);
+        ctx.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = CdrReader::new(&bytes, endian);
+        prop_assert_eq!(SpanContext::decode(&mut r).unwrap(), ctx);
+    }
+
+    #[test]
+    fn truncated_span_context_rejected(
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+        rank in any::<u32>(),
+        epoch in any::<u64>(),
+        endian in endian_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let ctx = SpanContext { trace_id, parent_span, rank, epoch };
+        let mut w = CdrWriter::new(endian);
+        ctx.encode(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        // Any strict prefix must fail to decode — typed, not a panic.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        let mut r = CdrReader::new(&bytes[..cut], endian);
+        prop_assert!(SpanContext::decode(&mut r).is_err());
+    }
+}

@@ -1,5 +1,5 @@
 //! Per-rank vector clocks for happens-before analysis (the `analyze`
-//! feature).
+//! feature) and causal span ordering (the `obs` feature).
 //!
 //! Every collective a rank completes — barrier, broadcast, gather,
 //! scatter, all-to-all, survivor barrier — advances that rank's
@@ -150,17 +150,20 @@ impl ClockWitness {
     }
 
     /// Observe the domain membership epoch; a change since the last
-    /// observation is an ordering event and ticks the clock.
-    pub fn observe_epoch(epoch: u64) {
+    /// observation is an ordering event and ticks the clock. Returns
+    /// whether this observation crossed an epoch boundary.
+    pub fn observe_epoch(epoch: u64) -> bool {
         WITNESS.with(|w| {
             if let Some(s) = w.borrow_mut().as_mut() {
                 if s.last_epoch != epoch {
                     s.last_epoch = epoch;
                     let r = s.rank;
                     s.clock.tick(r);
+                    return true;
                 }
             }
-        });
+            false
+        })
     }
 
     /// Join `other` into the calling thread's clock (a receive).
@@ -211,7 +214,14 @@ impl Endpoint {
             return Ok(());
         }
         ClockWitness::init(rank, self.size());
-        ClockWitness::observe_epoch(self.membership().epoch());
+        let epoch = self.membership().epoch();
+        let crossed = ClockWitness::observe_epoch(epoch);
+        #[cfg(feature = "obs")]
+        if crossed {
+            crate::obs::notify_epoch(rank, epoch);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = crossed;
         ClockWitness::tick();
         let live_others: Vec<usize> = (0..self.size())
             .filter(|&r| r != rank && is_live(dead, r))

@@ -61,6 +61,8 @@ impl Endpoint {
         self.check_participants(dead, root)?;
         #[cfg(feature = "analyze")]
         let _wait = crate::lockgraph::collective_enter("broadcast");
+        #[cfg(feature = "obs")]
+        let obs_start = std::time::Instant::now();
         let out = if self.rank() == root {
             let data =
                 data.ok_or_else(|| RtsError::Internal("root must supply broadcast data".into()))?;
@@ -73,9 +75,17 @@ impl Endpoint {
         } else {
             self.recv_internal(root, tags::BCAST)
         };
-        #[cfg(feature = "analyze")]
+        #[cfg(any(feature = "analyze", feature = "obs"))]
         if out.is_ok() {
             let _ = self.clock_sync(dead);
+        }
+        #[cfg(feature = "obs")]
+        if out.is_ok() {
+            crate::obs::notify_collective(
+                "broadcast",
+                self.rank(),
+                obs_start.elapsed().as_nanos() as u64,
+            );
         }
         out
     }
@@ -93,6 +103,8 @@ impl Endpoint {
         self.check_participants(dead, root)?;
         #[cfg(feature = "analyze")]
         let _wait = crate::lockgraph::collective_enter("gather");
+        #[cfg(feature = "obs")]
+        let obs_start = std::time::Instant::now();
         let out = if self.rank() == root {
             // Dead ranks contribute an empty chunk; stale messages they
             // sent before dying are discarded, not counted.
@@ -118,9 +130,17 @@ impl Endpoint {
             self.send_internal(root, tags::GATHER, bytes)?;
             Ok(None)
         };
-        #[cfg(feature = "analyze")]
+        #[cfg(any(feature = "analyze", feature = "obs"))]
         if out.is_ok() {
             let _ = self.clock_sync(dead);
+        }
+        #[cfg(feature = "obs")]
+        if out.is_ok() {
+            crate::obs::notify_collective(
+                "gather",
+                self.rank(),
+                obs_start.elapsed().as_nanos() as u64,
+            );
         }
         out
     }
@@ -157,6 +177,8 @@ impl Endpoint {
         self.check_participants(dead, root)?;
         #[cfg(feature = "analyze")]
         let _wait = crate::lockgraph::collective_enter("scatter");
+        #[cfg(feature = "obs")]
+        let obs_start = std::time::Instant::now();
         let out = if self.rank() == root {
             let chunks = chunks
                 .ok_or_else(|| RtsError::Internal("root must supply scatter chunks".into()))?;
@@ -178,9 +200,17 @@ impl Endpoint {
         } else {
             self.recv_internal(root, tags::SCATTER)
         };
-        #[cfg(feature = "analyze")]
+        #[cfg(any(feature = "analyze", feature = "obs"))]
         if out.is_ok() {
             let _ = self.clock_sync(dead);
+        }
+        #[cfg(feature = "obs")]
+        if out.is_ok() {
+            crate::obs::notify_collective(
+                "scatter",
+                self.rank(),
+                obs_start.elapsed().as_nanos() as u64,
+            );
         }
         out
     }
@@ -332,6 +362,8 @@ impl Endpoint {
         }
         #[cfg(feature = "analyze")]
         let _wait = crate::lockgraph::collective_enter("alltoall");
+        #[cfg(feature = "obs")]
+        let obs_start = std::time::Instant::now();
         let mut incoming: Vec<Option<Bytes>> = vec![None; self.size()];
         for (to, chunk) in outgoing.into_iter().enumerate() {
             if to == self.rank() {
@@ -353,8 +385,14 @@ impl Endpoint {
             }
             incoming[m.from] = Some(m.payload);
         }
-        #[cfg(feature = "analyze")]
+        #[cfg(any(feature = "analyze", feature = "obs"))]
         let _ = self.clock_sync(dead);
+        #[cfg(feature = "obs")]
+        crate::obs::notify_collective(
+            "alltoall",
+            self.rank(),
+            obs_start.elapsed().as_nanos() as u64,
+        );
         Ok(incoming
             .into_iter()
             .map(Option::unwrap_or_default)

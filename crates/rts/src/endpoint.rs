@@ -221,6 +221,8 @@ impl Endpoint {
         let dead = self.membership.dead_mask();
         #[cfg(feature = "analyze")]
         let _wait = crate::lockgraph::collective_enter("barrier");
+        #[cfg(feature = "obs")]
+        let obs_start = std::time::Instant::now();
         if dead == 0 {
             self.barrier.wait();
         } else {
@@ -230,8 +232,14 @@ impl Endpoint {
             // the disconnect as a typed error.
             let _ = self.survivor_barrier(dead);
         }
-        #[cfg(feature = "analyze")]
+        #[cfg(any(feature = "analyze", feature = "obs"))]
         let _ = self.clock_sync(dead);
+        #[cfg(feature = "obs")]
+        crate::obs::notify_collective(
+            "barrier",
+            self.rank(),
+            obs_start.elapsed().as_nanos() as u64,
+        );
     }
 }
 

@@ -44,7 +44,7 @@
 //! }
 //! ```
 
-#[cfg(feature = "analyze")]
+#[cfg(any(feature = "analyze", feature = "obs"))]
 pub mod clock;
 pub mod collectives;
 pub mod domain;
@@ -53,6 +53,8 @@ pub mod error;
 #[cfg(feature = "analyze")]
 pub mod lockgraph;
 pub mod membership;
+#[cfg(feature = "obs")]
+pub mod obs;
 pub mod reduce;
 pub mod rma;
 pub mod traits;

@@ -188,6 +188,17 @@ macro_rules! range_strategy {
 
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Float ranges sample uniformly over `[start, end)` (53 random
+/// mantissa bits scaled into the interval).
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 /// Collection sizes accepted by [`vec`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -239,6 +250,26 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let span = (self.size.max - self.size.min) as u64 + 1;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Tuples of strategies generate tuples of values (component-wise,
+/// left to right), mirroring upstream proptest.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> (A::Value, B::Value) {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> (A::Value, B::Value, C::Value) {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
     }
 }
 

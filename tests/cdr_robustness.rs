@@ -33,6 +33,7 @@ fn sample_request(endian: Endian) -> Bytes {
         mode: TransferMode::Centralized,
         client_threads: 4,
         client_data_ports: vec![5, 6, 7, 8],
+        service_context: vec![],
     };
     GiopMessage::Request(header, body.to_bytes(endian))
         .encode(endian)

@@ -214,6 +214,10 @@ proptest! {
         threads in 1u32..64,
         ports in prop::collection::vec(any::<u32>(), 0..8),
         mp in any::<bool>(),
+        sc in prop::collection::vec(
+            (any::<u32>(), prop::collection::vec(any::<u8>(), 0..24)),
+            0..4,
+        ),
         endian in endian_strategy(),
     ) {
         let h = RequestHeader {
@@ -226,6 +230,10 @@ proptest! {
             mode: if mp { TransferMode::MultiPort } else { TransferMode::Centralized },
             client_threads: threads,
             client_data_ports: ports,
+            service_context: sc
+                .into_iter()
+                .map(|(id, blob)| (id, Bytes::from(blob)))
+                .collect(),
         };
         let msg = GiopMessage::Request(h, Bytes::from(vec![1, 2, 3]));
         let wire = msg.encode(endian).unwrap();
